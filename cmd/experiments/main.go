@@ -1,0 +1,278 @@
+// Command experiments regenerates the paper's evaluation (Pavlovikj et
+// al., IPDPSW 2014): Fig. 4 (workflow wall time on Sandhills vs OSG for
+// n ∈ {10,100,300,500} plus the serial baseline), Fig. 5 (per-task
+// Kickstart / Waiting / Download-Install breakdowns), the inline headline
+// numbers, and the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-seed N] [-fig 4|5|ablations|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pegflow/internal/core"
+	"pegflow/internal/stats"
+	"pegflow/internal/workflow"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "experiment seed (42 is the canonical reproduction)")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, all")
+	flag.Parse()
+
+	e := core.DefaultExperiment(*seed)
+	switch *fig {
+	case "4":
+		if err := fig4(e); err != nil {
+			fatal(err)
+		}
+	case "5":
+		if err := fig5(e); err != nil {
+			fatal(err)
+		}
+	case "ablations":
+		if err := ablations(e); err != nil {
+			fatal(err)
+		}
+	case "cloud":
+		if err := cloud(e); err != nil {
+			fatal(err)
+		}
+	case "seeds":
+		if err := seedsSweep(*seed); err != nil {
+			fatal(err)
+		}
+	case "all":
+		if err := fig4(e); err != nil {
+			fatal(err)
+		}
+		if err := fig5(e); err != nil {
+			fatal(err)
+		}
+		if err := ablations(e); err != nil {
+			fatal(err)
+		}
+		if err := cloud(e); err != nil {
+			fatal(err)
+		}
+		if err := seedsSweep(*seed); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+func fig4(e *core.Experiment) error {
+	fmt.Println("== Figure 4: workflow wall time, Sandhills vs OSG ==")
+	all, err := e.RunAll()
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "RUN\tWALL TIME (s)\tWALL TIME\tRETRIES\tEVICTIONS")
+	fmt.Fprintf(tw, "serial (1 core)\t%.0f\t%s\t0\t0\n",
+		all.Serial.WallTime(), stats.HMS(all.Serial.WallTime()))
+	for _, p := range core.Platforms {
+		for _, n := range core.PaperNValues {
+			r := all.Runs[p][n]
+			fmt.Fprintf(tw, "%s n=%d\t%.0f\t%s\t%d\t%d\n",
+				p, n, r.WallTime(), stats.HMS(r.WallTime()),
+				r.Result.Retries, r.Result.Evictions)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\n-- headline numbers --")
+	serial := all.Serial.WallTime()
+	best := all.BestWorkflowWallTime()
+	fmt.Printf("serial baseline              : %s (paper: 100 hours)\n", stats.HMS(serial))
+	fmt.Printf("best workflow                : %s\n", stats.HMS(best))
+	fmt.Printf("reduction serial->workflow   : %.1f%% (paper: >95%%)\n",
+		100*stats.Reduction(serial, best))
+	s := all.Runs["sandhills"]
+	fmt.Printf("sandhills n=10               : %.0f s (paper: 41,593 s)\n", s[10].WallTime())
+	fmt.Printf("improvement n=10 -> n=100    : %.1f%% (paper: ~80%%)\n",
+		100*stats.Reduction(s[10].WallTime(), s[100].WallTime()))
+	bestN, bestW := 0, -1.0
+	for _, n := range core.PaperNValues {
+		if bestW < 0 || s[n].WallTime() < bestW {
+			bestN, bestW = n, s[n].WallTime()
+		}
+	}
+	fmt.Printf("optimal n on sandhills       : %d (paper: 300)\n\n", bestN)
+	return nil
+}
+
+func fig5(e *core.Experiment) error {
+	fmt.Println("== Figure 5: per-task running time breakdown ==")
+	for _, n := range core.PaperNValues {
+		fmt.Printf("\n-- n = %d --\n", n)
+		for _, p := range core.Platforms {
+			r, err := e.RunWorkflow(p, n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("[%s]  wall time %s\n", p, stats.HMS(r.WallTime()))
+			if err := stats.WritePerTransformation(os.Stdout, r.PerTask); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func ablations(e *core.Experiment) error {
+	fmt.Println("== Ablations (DESIGN.md A1-A4) ==")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ABLATION\tCONFIG\tWALL TIME (s)\tNOTE")
+
+	base, err := e.RunWorkflow("osg", 300)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "A1 install step\tosg n=300 (baseline)\t%.0f\tevery task downloads+installs\n", base.WallTime())
+	pre, err := e.RunVariant("osg", 300, core.Variant{PreinstallOSG: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "A1 install step\tosg n=300 preinstalled\t%.0f\tpaper's future work: shared software on OSG\n", pre.WallTime())
+
+	// A2 averages over seeds at n=10, where an eviction forces a ~10-hour
+	// task to rerun and single-seed noise would mask the effect.
+	var withEv, withoutEv float64
+	var evictions int
+	const a2Seeds = 5
+	for s := uint64(0); s < a2Seeds; s++ {
+		e2 := core.DefaultExperiment(e.Seed + s)
+		a, err := e2.RunWorkflow("osg", 10)
+		if err != nil {
+			return err
+		}
+		b, err := e2.RunVariant("osg", 10, core.Variant{DisablePreemption: true})
+		if err != nil {
+			return err
+		}
+		withEv += a.WallTime() / a2Seeds
+		withoutEv += b.WallTime() / a2Seeds
+		evictions += a.Result.Evictions
+	}
+	fmt.Fprintf(tw, "A2 preemption\tosg n=10 with eviction (mean of %d seeds)\t%.0f\t%d evictions total\n",
+		a2Seeds, withEv, evictions)
+	fmt.Fprintf(tw, "A2 preemption\tosg n=10 no eviction (mean of %d seeds)\t%.0f\t\n",
+		a2Seeds, withoutEv)
+
+	for _, cs := range []int{1, 4, 16} {
+		r, err := e.RunVariant("sandhills", 500, core.Variant{ClusterSize: cs})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "A3 task clustering\tsandhills n=500 factor %d\t%.0f\t%d jobs\n",
+			cs, r.WallTime(), r.Summary.Jobs)
+	}
+
+	// A4: the plateau tracks the largest cluster's CAP3 time (the
+	// unsplittable makespan floor), whatever the total work is.
+	for _, sx := range []float64{0.25, 0.5, 1.0} {
+		r, err := e.RunVariant("sandhills", 300, core.Variant{SizeExponent: sx})
+		if err != nil {
+			return err
+		}
+		w := workflow.CustomWorkload(workflow.WorkloadParams{
+			NumClusters: 40000, MaxClusterSize: 600, SizeExponent: sx, MeanReadLen: 1500,
+		}, e.Seed)
+		cm := workflow.DefaultCostModel()
+		floor := cm.ClusterSeconds(w.Clusters[0])
+		note := fmt.Sprintf("largest-cluster floor %.0f s, wall/floor %.2f", floor, r.WallTime()/floor)
+		if sx == 0.5 {
+			note += " (paper workload)"
+		}
+		fmt.Fprintf(tw, "A4 cluster skew\tsandhills n=300 exponent %.2f\t%.0f\t%s\n", sx, r.WallTime(), note)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\n-- serial work check (cost model vs workload) --")
+	cm := workflow.DefaultCostModel()
+	fmt.Printf("serial blast2cap3 estimate: %s\n\n", stats.HMS(cm.SerialSeconds(e.Workload)))
+	return nil
+}
+
+// seedsSweep quantifies run-to-run variability over 10 seeds (paper
+// §VI.A: results "may vary for every new run due to the availability of
+// the current resources").
+func seedsSweep(base uint64) error {
+	fmt.Println("== Seed sweep: wall-time distribution over 10 seeds ==")
+	sw, err := core.MonteCarlo(base, 10, nil, nil)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CELL\tMEAN (s)\tSTDDEV\tCV\tMIN\tMEDIAN\tMAX\tEVICTIONS")
+	fmt.Fprintf(tw, "serial\t%.0f\t%.0f\t%.3f\t%.0f\t%.0f\t%.0f\t0\n",
+		sw.Serial.Mean, sw.Serial.Stddev, sw.Serial.CV(), sw.Serial.Min, sw.Serial.Median, sw.Serial.Max)
+	for _, p := range core.Platforms {
+		for _, n := range core.PaperNValues {
+			c := sw.Cells[p][n]
+			fmt.Fprintf(tw, "%s n=%d\t%.0f\t%.0f\t%.3f\t%.0f\t%.0f\t%.0f\t%d\n",
+				p, n, c.Mean, c.Stddev, c.CV(), c.Min, c.Median, c.Max, c.Evictions)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\noptimal n per platform (count over 10 seeds):")
+	for _, p := range core.Platforms {
+		fmt.Printf("  %-10s %v\n", p, sw.OptimalNCounts[p])
+	}
+	fmt.Println()
+	return nil
+}
+
+// cloud runs the three-platform comparison of the paper's future work
+// (§VII) and prints an execution timeline per platform at n=300.
+func cloud(e *core.Experiment) error {
+	fmt.Println("== Future work (paper §VII): cloud as a third platform ==")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PLATFORM\tN\tWALL TIME (s)\tWALL TIME\tEVICTIONS")
+	results := map[string]*core.RunResult{}
+	for _, p := range core.ExtendedPlatforms {
+		for _, n := range core.PaperNValues {
+			r, err := e.RunWorkflow(p, n)
+			if err != nil {
+				return err
+			}
+			if n == 300 {
+				results[p] = r
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%s\t%d\n",
+				p, n, r.WallTime(), stats.HMS(r.WallTime()), r.Result.Evictions)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, p := range core.ExtendedPlatforms {
+		fmt.Printf("\n-- execution timeline, %s n=300 --\n", p)
+		tl := stats.BuildTimeline(results[p].Result.Log, 16)
+		if err := stats.WriteTimeline(os.Stdout, tl, 56); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,297 @@
+// Command pegflow is the workflow-management CLI, mirroring the Pegasus
+// tool family (paper §III):
+//
+//	pegflow dax        -n 300 > blast2cap3.dax          (DAX generator)
+//	pegflow plan       -dax blast2cap3.dax -site osg    (pegasus-plan)
+//	pegflow run        -dax blast2cap3.dax -site osg    (pegasus-run, simulated)
+//	pegflow statistics -log run.jsonl                   (pegasus-statistics)
+//	pegflow analyze    -log run.jsonl                   (pegasus-analyzer)
+//
+// plan and run resolve sites against the paper's built-in two-platform
+// catalogs (Sandhills and OSG).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pegflow/internal/dax"
+	"pegflow/internal/engine"
+	"pegflow/internal/kickstart"
+	"pegflow/internal/planner"
+	"pegflow/internal/sim/platform"
+	"pegflow/internal/stats"
+	"pegflow/internal/workflow"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dax":
+		err = cmdDAX(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "statistics":
+		err = cmdStatistics(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pegflow:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pegflow <command> [flags]
+
+commands:
+  dax         generate the blast2cap3 abstract workflow (DAX XML) on stdout
+  plan        map a DAX onto a site and print the executable workflow
+  run         plan and execute a DAX on a simulated platform
+  statistics  summarize a kickstart log (JSON lines)
+  analyze     report failed attempts from a kickstart log`)
+}
+
+func loadDAX(path string) (*dax.Workflow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dax.ReadXML(f)
+}
+
+func cmdDAX(args []string) error {
+	fs := flag.NewFlagSet("dax", flag.ExitOnError)
+	n := fs.Int("n", 300, "number of cluster chunks")
+	scale := fs.String("scale", "paper", "workload scale: paper (with runtime profiles) or real (no profiles)")
+	seed := fs.Uint64("seed", 42, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := workflow.BuilderConfig{N: *n}
+	if *scale == "paper" {
+		cfg.Workload = workflow.PaperWorkload(*seed)
+	} else if *scale != "real" {
+		return fmt.Errorf("unknown -scale %q", *scale)
+	}
+	wf, err := workflow.BuildDAX(cfg)
+	if err != nil {
+		return err
+	}
+	return wf.WriteXML(os.Stdout)
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	daxPath := fs.String("dax", "", "abstract workflow file (required)")
+	site := fs.String("site", "sandhills", "execution site: sandhills or osg")
+	cluster := fs.Int("cluster", 0, "horizontal clustering factor for run_cap3 (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *daxPath == "" {
+		return fmt.Errorf("plan: -dax is required")
+	}
+	wf, err := loadDAX(*daxPath)
+	if err != nil {
+		return err
+	}
+	plan, err := planFor(wf, *site, *cluster)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("planned workflow %q for site %q\n", plan.Graph.Name, plan.Site)
+	fmt.Printf("  jobs: %d   edges: %d   estimated serial work: %s\n",
+		plan.Graph.Len(), plan.Graph.Edges(), stats.HMS(plan.TotalExecSeconds()))
+	installs := 0
+	for _, j := range plan.Jobs() {
+		if j.NeedsInstall {
+			installs++
+		}
+	}
+	fmt.Printf("  jobs with download/install step: %d\n", installs)
+	cp, err := plan.Graph.CriticalPathLength()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  critical path length: %d\n", cp)
+	return nil
+}
+
+func planFor(wf *dax.Workflow, site string, cluster int) (*planner.Plan, error) {
+	cats, err := workflow.PaperCatalogs(workflow.PaperWorkload(42), 300, 600)
+	if err != nil {
+		return nil, err
+	}
+	opts := planner.Options{Site: site}
+	if cluster > 1 {
+		opts.ClusterSize = cluster
+		opts.ClusterTransformations = []string{workflow.TrRunCAP3}
+	}
+	return planner.New(wf, cats, opts)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	daxPath := fs.String("dax", "", "abstract workflow file (required)")
+	site := fs.String("site", "sandhills", "execution site: sandhills or osg")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	retries := fs.Int("retries", 5, "retry limit per job")
+	cluster := fs.Int("cluster", 0, "horizontal clustering factor (0 = off)")
+	logOut := fs.String("log-out", "", "write the kickstart log (JSON lines) to this file")
+	rescueOut := fs.String("rescue-out", "", "write a rescue DAX here if the run is incomplete")
+	timeline := fs.Bool("timeline", false, "print an ASCII utilization timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *daxPath == "" {
+		return fmt.Errorf("run: -dax is required")
+	}
+	wf, err := loadDAX(*daxPath)
+	if err != nil {
+		return err
+	}
+	plan, err := planFor(wf, *site, *cluster)
+	if err != nil {
+		return err
+	}
+	var cfg platform.Config
+	switch *site {
+	case "sandhills":
+		cfg = platform.Sandhills(*seed)
+		cfg.Slots = 300
+	case "osg":
+		cfg = platform.OSG(*seed)
+	default:
+		return fmt.Errorf("run: unknown site %q", *site)
+	}
+	ex, err := platform.NewExecutor(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := engine.Run(plan, ex, engine.Options{RetryLimit: *retries})
+	if err != nil {
+		return err
+	}
+	if err := stats.WriteSummary(os.Stdout, plan.Graph.Name, stats.Summarize(res.Log, res.Makespan)); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := stats.WritePerTransformation(os.Stdout, stats.PerTransformation(res.Log)); err != nil {
+		return err
+	}
+	if *timeline {
+		fmt.Println()
+		if err := stats.WriteTimeline(os.Stdout, stats.BuildTimeline(res.Log, 16), 56); err != nil {
+			return err
+		}
+	}
+	if !res.Success {
+		fmt.Printf("\nworkflow INCOMPLETE; rescue workflow has %d jobs\n", len(res.RescueWorkflow()))
+		if *rescueOut != "" {
+			f, err := os.Create(*rescueOut)
+			if err != nil {
+				return err
+			}
+			if err := engine.WriteRescue(f, plan, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("rescue DAX written to %s (resubmit with: pegflow run -dax %s)\n",
+				*rescueOut, *rescueOut)
+		}
+	}
+	if *logOut != "" {
+		f, err := os.Create(*logOut)
+		if err != nil {
+			return err
+		}
+		if err := res.Log.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nkickstart log written to %s\n", *logOut)
+	}
+	return nil
+}
+
+func loadLog(path string) (*kickstart.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kickstart.ReadJSON(f)
+}
+
+func cmdStatistics(args []string) error {
+	fs := flag.NewFlagSet("statistics", flag.ExitOnError)
+	logPath := fs.String("log", "", "kickstart log file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("statistics: -log is required")
+	}
+	lg, err := loadLog(*logPath)
+	if err != nil {
+		return err
+	}
+	makespan := 0.0
+	for _, r := range lg.Records() {
+		if r.EndTime > makespan {
+			makespan = r.EndTime
+		}
+	}
+	if err := stats.WriteSummary(os.Stdout, *logPath, stats.Summarize(lg, makespan)); err != nil {
+		return err
+	}
+	fmt.Println()
+	return stats.WritePerTransformation(os.Stdout, stats.PerTransformation(lg))
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	logPath := fs.String("log", "", "kickstart log file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("analyze: -log is required")
+	}
+	lg, err := loadLog(*logPath)
+	if err != nil {
+		return err
+	}
+	fails := lg.Failures()
+	if len(fails) == 0 {
+		fmt.Println("no failed attempts")
+		return nil
+	}
+	fmt.Printf("%d failed attempts:\n", len(fails))
+	for _, r := range fails {
+		fmt.Printf("  %-24s attempt %d  %-8s at %8.0f s on %-20s %s\n",
+			r.JobID, r.Attempt, r.Status, r.EndTime, r.Node, r.ExitMessage)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+// Quickstart: build a small abstract workflow with the public-facing API,
+// plan it for a site, run it on the simulated campus cluster and print
+// pegasus-statistics-style output.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pegflow/internal/catalog"
+	"pegflow/internal/dax"
+	"pegflow/internal/engine"
+	"pegflow/internal/planner"
+	"pegflow/internal/sim/platform"
+	"pegflow/internal/stats"
+)
+
+func main() {
+	// 1. Describe an abstract workflow: a classic diamond.
+	wf := dax.New("diamond")
+	wf.NewJob("prepare", "preprocess").
+		AddInput("raw.dat", 1<<20).
+		AddOutput("clean.dat", 1<<20).
+		SetProfile("pegasus", "runtime", "120")
+	for i, branch := range []string{"left", "right"} {
+		wf.NewJob(branch, "analyze").
+			AddInput("clean.dat", 1<<20).
+			AddOutput(fmt.Sprintf("part%d.dat", i), 512<<10).
+			SetProfile("pegasus", "runtime", "600")
+	}
+	wf.NewJob("combine", "merge").
+		AddInput("part0.dat", 512<<10).
+		AddInput("part1.dat", 512<<10).
+		AddOutput("result.dat", 64<<10).
+		SetProfile("pegasus", "runtime", "60")
+	// Dependencies can be declared explicitly or inferred from data flow.
+	if err := wf.InferDependencies(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Catalogs: one campus-cluster site with everything installed.
+	cats := planner.Catalogs{
+		Sites:           catalog.NewSiteCatalog(),
+		Transformations: catalog.NewTransformationCatalog(),
+		Replicas:        catalog.NewReplicaCatalog(),
+	}
+	if err := cats.Sites.Add(&catalog.Site{
+		Name: "campus", Slots: 4, SpeedFactor: 1.0, SharedSoftware: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for _, tr := range []string{"preprocess", "analyze", "merge"} {
+		if err := cats.Transformations.Add(&catalog.Transformation{
+			Name: tr, Site: "campus", PFN: "/opt/bin/" + tr, Installed: true,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cats.Replicas.Add("raw.dat", catalog.Replica{Site: "local", PFN: "/data/raw.dat"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Plan (pegasus-plan) and run (pegasus-run via DAGMan).
+	plan, err := planner.New(wf, cats, planner.Options{Site: "campus", AddStageIn: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex, err := platform.NewExecutor(platform.Config{
+		Name: "campus", Slots: 4, SpeedFactor: 1.0,
+		DispatchMean: 15, DispatchCV: 0.3, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Run(plan, ex, engine.Options{RetryLimit: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Statistics (pegasus-statistics).
+	fmt.Printf("workflow %q: success=%v\n\n", wf.Name, res.Success)
+	if err := stats.WriteSummary(os.Stdout, wf.Name, stats.Summarize(res.Log, res.Makespan)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := stats.WritePerTransformation(os.Stdout, stats.PerTransformation(res.Log)); err != nil {
+		log.Fatal(err)
+	}
+}

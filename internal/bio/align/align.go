@@ -1,0 +1,307 @@
+// Package align implements the pairwise sequence alignment kernels the
+// BLASTX-like search and the CAP3-like assembler are built on:
+//
+//   - local protein alignment (Smith-Waterman with affine gaps, BLOSUM62),
+//     used for gapped hit extension in package blast;
+//   - nucleotide overlap (dovetail / suffix-prefix) alignment, used for
+//     overlap detection in package cap3.
+package align
+
+import "fmt"
+
+// Result describes one pairwise alignment.
+type Result struct {
+	// Score is the alignment score (matrix units for protein, match
+	// units for nucleotide).
+	Score int
+	// AStart/AEnd and BStart/BEnd are half-open aligned ranges in the
+	// two input sequences.
+	AStart, AEnd int
+	BStart, BEnd int
+	// Matches counts identical aligned pairs; Length counts aligned
+	// columns including gaps.
+	Matches, Length int
+}
+
+// Identity returns the fraction of identical columns (0 when empty).
+func (r Result) Identity() float64 {
+	if r.Length == 0 {
+		return 0
+	}
+	return float64(r.Matches) / float64(r.Length)
+}
+
+// ProteinParams sets gap penalties for protein local alignment (BLAST
+// defaults for BLOSUM62: open 11, extend 1).
+type ProteinParams struct {
+	GapOpen, GapExtend int
+}
+
+// DefaultProteinParams returns the BLAST defaults.
+func DefaultProteinParams() ProteinParams { return ProteinParams{GapOpen: 11, GapExtend: 1} }
+
+// LocalProtein computes a Smith-Waterman local alignment of two protein
+// sequences under BLOSUM62 with affine gaps. It runs in O(len(a)*len(b))
+// time and O(len(b)) space for the score; the traceback uses a compact
+// direction matrix.
+func LocalProtein(a, b []byte, p ProteinParams) Result {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{}
+	}
+	const (
+		dirNone = 0
+		dirDiag = 1
+		dirUp   = 2 // gap in b (consume a)
+		dirLeft = 3 // gap in a (consume b)
+	)
+	// Affine-gap DP: H best, E gap-in-a (left), F gap-in-b (up).
+	H := make([]int, m+1)
+	E := make([]int, m+1)
+	prevH := make([]int, m+1)
+	prevF := make([]int, m+1)
+	F := make([]int, m+1)
+	dirs := make([][]byte, n+1)
+	for i := range dirs {
+		dirs[i] = make([]byte, m+1)
+	}
+	negInf := -1 << 30
+	for j := 0; j <= m; j++ {
+		prevH[j] = 0
+		E[j] = negInf
+		prevF[j] = negInf
+	}
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= n; i++ {
+		H[0] = 0
+		E[0] = negInf
+		F[0] = negInf
+		for j := 1; j <= m; j++ {
+			e := E[j-1] - p.GapExtend
+			if h := H[j-1] - p.GapOpen - p.GapExtend; h > e {
+				e = h
+			}
+			E[j] = e
+			f := prevF[j] - p.GapExtend
+			if h := prevH[j] - p.GapOpen - p.GapExtend; h > f {
+				f = h
+			}
+			F[j] = f
+			d := prevH[j-1] + Blosum62(a[i-1], b[j-1])
+			h, dir := 0, byte(dirNone)
+			if d > h {
+				h, dir = d, dirDiag
+			}
+			if e > h {
+				h, dir = e, dirLeft
+			}
+			if f > h {
+				h, dir = f, dirUp
+			}
+			H[j] = h
+			dirs[i][j] = dir
+			if h > best {
+				best, bi, bj = h, i, j
+			}
+		}
+		prevH, H = H, prevH
+		prevF, F = F, prevF
+	}
+	if best == 0 {
+		return Result{}
+	}
+	// Traceback.
+	res := Result{Score: best, AEnd: bi, BEnd: bj}
+	i, j := bi, bj
+	for i > 0 && j > 0 {
+		switch dirs[i][j] {
+		case dirDiag:
+			res.Length++
+			if equalAA(a[i-1], b[j-1]) {
+				res.Matches++
+			}
+			i--
+			j--
+		case dirLeft:
+			res.Length++
+			j--
+		case dirUp:
+			res.Length++
+			i--
+		default:
+			res.AStart, res.BStart = i, j
+			return res
+		}
+	}
+	res.AStart, res.BStart = i, j
+	return res
+}
+
+func equalAA(x, y byte) bool {
+	// Case-insensitive residue identity.
+	return x == y || x|0x20 == y|0x20
+}
+
+// OverlapParams configures nucleotide suffix-prefix alignment.
+type OverlapParams struct {
+	// Match, Mismatch, GapOpen, GapExtend are the scoring parameters
+	// (mismatch and gaps as positive penalties).
+	Match, Mismatch, GapOpen, GapExtend int
+	// Band limits the alignment to a diagonal band of this half-width;
+	// 0 means unbanded.
+	Band int
+}
+
+// DefaultOverlapParams returns CAP3-like scoring: match 2, mismatch 5,
+// gap open 6, gap extend 1, band 40.
+func DefaultOverlapParams() OverlapParams {
+	return OverlapParams{Match: 2, Mismatch: 5, GapOpen: 6, GapExtend: 1, Band: 40}
+}
+
+// Overlap computes the best dovetail alignment in which a suffix of a
+// aligns with a prefix of b (a then b in contig order). It returns a
+// zero-score Result when no positive-scoring overlap exists.
+//
+// The DP is a semi-global alignment: start anywhere on a (free leading
+// gap), must reach the end of a, start at the beginning of b, end anywhere
+// on b. Gaps use linear penalties (GapOpen+GapExtend per base), which is
+// sufficient for the high-identity overlaps CAP3 accepts.
+func Overlap(a, b []byte, p OverlapParams) Result {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{}
+	}
+	gap := p.GapOpen + p.GapExtend
+	negInf := -1 << 30
+
+	// H[i][j]: best score of an alignment of a[si..i) with b[0..j) for
+	// some start si, with free start on a. Rolling rows over i.
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	type cell struct{ matches, length int }
+	prevT := make([]cell, m+1)
+	curT := make([]cell, m+1)
+	prevStart := make([]int, m+1) // b-start is always 0; track a-start
+	curStart := make([]int, m+1)
+
+	// Row 0: aligning an empty suffix of a with b[0..j): only j=0 valid.
+	for j := 0; j <= m; j++ {
+		prev[j] = negInf
+	}
+	prev[0] = 0
+
+	bestScore, bestJ := negInf, -1
+	var bestCell cell
+	bestStart := 0
+
+	for i := 1; i <= n; i++ {
+		lo, hi := 1, m
+		if p.Band > 0 {
+			// Keep the band around the main overlap diagonal
+			// j ≈ i - (n - m)… simpler: center on j = i - (n-m).
+			center := i - (n - m)
+			if center < 1 {
+				center = 1
+			}
+			lo = center - p.Band
+			if lo < 1 {
+				lo = 1
+			}
+			hi = center + p.Band
+			if hi > m {
+				hi = m
+			}
+		}
+		// Column 0: alignment may start at any position of a for free.
+		cur[0] = 0
+		curT[0] = cell{}
+		curStart[0] = i
+		for j := 1; j <= m; j++ {
+			if j < lo || j > hi {
+				cur[j] = negInf
+				continue
+			}
+			s := negInf
+			var tc cell
+			var st int
+			// Diagonal.
+			if prev[j-1] > negInf {
+				sc := p.Match
+				eq := baseEqual(a[i-1], b[j-1])
+				if !eq {
+					sc = -p.Mismatch
+				}
+				if v := prev[j-1] + sc; v > s {
+					s = v
+					tc = cell{prevT[j-1].matches + b2i(eq), prevT[j-1].length + 1}
+					st = prevStart[j-1]
+				}
+			}
+			// Gap in b (consume a).
+			if prev[j] > negInf {
+				if v := prev[j] - gap; v > s {
+					s = v
+					tc = cell{prevT[j].matches, prevT[j].length + 1}
+					st = prevStart[j]
+				}
+			}
+			// Gap in a (consume b).
+			if cur[j-1] > negInf {
+				if v := cur[j-1] - gap; v > s {
+					s = v
+					tc = cell{curT[j-1].matches, curT[j-1].length + 1}
+					st = curStart[j-1]
+				}
+			}
+			cur[j] = s
+			curT[j] = tc
+			curStart[j] = st
+		}
+		if i == n {
+			for j := 1; j <= m; j++ {
+				if cur[j] > bestScore {
+					bestScore, bestJ = cur[j], j
+					bestCell = curT[j]
+					bestStart = curStart[j]
+				}
+			}
+		}
+		prev, cur = cur, prev
+		prevT, curT = curT, prevT
+		prevStart, curStart = curStart, prevStart
+	}
+	if bestScore <= 0 || bestJ < 0 {
+		return Result{}
+	}
+	return Result{
+		Score:   bestScore,
+		AStart:  bestStart,
+		AEnd:    n,
+		BStart:  0,
+		BEnd:    bestJ,
+		Matches: bestCell.matches,
+		Length:  bestCell.length,
+	}
+}
+
+func baseEqual(x, y byte) bool {
+	x |= 0x20
+	y |= 0x20
+	if x == 'n' || y == 'n' {
+		return false
+	}
+	return x == y
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// String renders a compact description for debugging.
+func (r Result) String() string {
+	return fmt.Sprintf("score=%d a[%d:%d] b[%d:%d] id=%.2f len=%d",
+		r.Score, r.AStart, r.AEnd, r.BStart, r.BEnd, r.Identity(), r.Length)
+}

@@ -1,0 +1,255 @@
+package align
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlosum62KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b byte
+		want int
+	}{
+		{'A', 'A', 4}, {'W', 'W', 11}, {'R', 'K', 2}, {'L', 'I', 2},
+		{'W', 'G', -2}, {'C', 'C', 9}, {'P', 'W', -4}, {'X', 'A', -1},
+		{'*', '*', 1}, {'A', '*', -4},
+	}
+	for _, c := range cases {
+		if got := Blosum62(c.a, c.b); got != c.want {
+			t.Errorf("Blosum62(%c,%c) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBlosum62Symmetric(t *testing.T) {
+	for _, a := range []byte(aaOrder) {
+		for _, b := range []byte(aaOrder) {
+			if Blosum62(a, b) != Blosum62(b, a) {
+				t.Fatalf("asymmetric at %c,%c", a, b)
+			}
+		}
+	}
+}
+
+func TestBlosum62CaseAndUnknown(t *testing.T) {
+	if Blosum62('a', 'A') != 4 {
+		t.Error("lower-case residue not accepted")
+	}
+	if Blosum62('?', 'A') != Blosum62('X', 'A') {
+		t.Error("unknown residue not treated as X")
+	}
+}
+
+func TestLocalProteinExactMatch(t *testing.T) {
+	s := []byte("MKVLAWQH")
+	r := LocalProtein(s, s, DefaultProteinParams())
+	want := 0
+	for _, c := range s {
+		want += Blosum62(c, c)
+	}
+	if r.Score != want {
+		t.Errorf("self-alignment score = %d, want %d", r.Score, want)
+	}
+	if r.Identity() != 1.0 {
+		t.Errorf("identity = %v", r.Identity())
+	}
+	if r.AStart != 0 || r.AEnd != len(s) || r.BStart != 0 || r.BEnd != len(s) {
+		t.Errorf("range = %v", r)
+	}
+}
+
+func TestLocalProteinFindsEmbeddedMotif(t *testing.T) {
+	a := []byte("GGGGGMKVLAWQHGGGGG")
+	b := []byte("PPPMKVLAWQHPPP")
+	r := LocalProtein(a, b, DefaultProteinParams())
+	if got := string(a[r.AStart:r.AEnd]); got != "MKVLAWQH" {
+		t.Errorf("aligned region in a = %q", got)
+	}
+	if got := string(b[r.BStart:r.BEnd]); got != "MKVLAWQH" {
+		t.Errorf("aligned region in b = %q", got)
+	}
+	if r.Matches != 8 {
+		t.Errorf("matches = %d", r.Matches)
+	}
+}
+
+func TestLocalProteinWithGap(t *testing.T) {
+	a := []byte("MKVLAWQHMKVLAWQH")
+	b := []byte("MKVLAWQHXMKVLAWQH") // one extra residue in the middle
+	r := LocalProtein(a, b, DefaultProteinParams())
+	if r.Length != 17 {
+		t.Errorf("aligned length = %d, want 17 (one gap column)", r.Length)
+	}
+	if r.Matches != 16 {
+		t.Errorf("matches = %d, want 16", r.Matches)
+	}
+}
+
+func TestLocalProteinNoSimilarity(t *testing.T) {
+	r := LocalProtein([]byte("WWWWW"), []byte("PPPPP"), DefaultProteinParams())
+	if r.Score != 0 || r.Length != 0 {
+		t.Errorf("dissimilar alignment = %+v", r)
+	}
+}
+
+func TestLocalProteinEmpty(t *testing.T) {
+	if r := LocalProtein(nil, []byte("MK"), DefaultProteinParams()); r.Score != 0 {
+		t.Errorf("empty input score = %d", r.Score)
+	}
+}
+
+func TestOverlapPerfectDovetail(t *testing.T) {
+	//        AAAACCCCGGGG
+	//            CCCCGGGGTTTT
+	a := []byte("AAAACCCCGGGG")
+	b := []byte("CCCCGGGGTTTT")
+	r := Overlap(a, b, DefaultOverlapParams())
+	if r.Length != 8 || r.Matches != 8 {
+		t.Fatalf("overlap = %+v, want 8 matched columns", r)
+	}
+	if r.AStart != 4 || r.AEnd != 12 || r.BStart != 0 || r.BEnd != 8 {
+		t.Errorf("range = %+v", r)
+	}
+	if r.Identity() != 1.0 {
+		t.Errorf("identity = %v", r.Identity())
+	}
+}
+
+func TestOverlapWithMismatch(t *testing.T) {
+	a := []byte("AAAACCCCGTGG")
+	b := []byte("CCCCGGGGTTTT") // one mismatch in the overlap (T vs G)
+	r := Overlap(a, b, DefaultOverlapParams())
+	if r.Length == 0 {
+		t.Fatal("no overlap found")
+	}
+	if r.Identity() >= 1.0 {
+		t.Errorf("identity = %v, want < 1", r.Identity())
+	}
+	if r.Matches < 6 {
+		t.Errorf("matches = %d", r.Matches)
+	}
+}
+
+func TestOverlapWithIndel(t *testing.T) {
+	// b's prefix matches a's suffix with one deleted base.
+	a := []byte("TTTTTTACGTACGTACGTAC")
+	b := []byte("ACGTACGTCGTACGGGGGGG") // 'A' missing at position 8
+	r := Overlap(a, b, DefaultOverlapParams())
+	if r.Length == 0 {
+		t.Fatal("no overlap found across indel")
+	}
+	if r.Identity() < 0.8 {
+		t.Errorf("identity = %v", r.Identity())
+	}
+}
+
+func TestOverlapNone(t *testing.T) {
+	r := Overlap([]byte("AAAAAAAA"), []byte("GGGGGGGG"), DefaultOverlapParams())
+	if r.Score > 2 {
+		// At most a trivial 1-base "overlap" can score.
+		t.Errorf("found overlap in dissimilar sequences: %+v", r)
+	}
+}
+
+func TestOverlapContainment(t *testing.T) {
+	// b fully contained within a's suffix region: overlap ends before
+	// b's end is fine; semi-global must still align b's prefix.
+	a := []byte("GGGGACGTACGTACGT")
+	b := []byte("ACGTACGTACGTAAAA")
+	r := Overlap(a, b, DefaultOverlapParams())
+	if r.BStart != 0 {
+		t.Errorf("BStart = %d, want 0", r.BStart)
+	}
+	if r.AEnd != len(a) {
+		t.Errorf("AEnd = %d, want %d (suffix anchored)", r.AEnd, len(a))
+	}
+}
+
+func TestOverlapEmpty(t *testing.T) {
+	if r := Overlap(nil, []byte("ACGT"), DefaultOverlapParams()); r.Score != 0 {
+		t.Errorf("empty overlap = %+v", r)
+	}
+}
+
+func TestOverlapBandedMatchesUnbanded(t *testing.T) {
+	a := []byte("TTTTTTTTACGTACGTACGTACGTACGT")
+	b := []byte("ACGTACGTACGTACGTACGTGGGGGGGG")
+	p := DefaultOverlapParams()
+	p.Band = 0
+	un := Overlap(a, b, p)
+	p.Band = 40
+	banded := Overlap(a, b, p)
+	if un.Score != banded.Score || un.Matches != banded.Matches {
+		t.Errorf("banded %+v != unbanded %+v", banded, un)
+	}
+}
+
+func TestOverlapNSNeverMatch(t *testing.T) {
+	a := []byte("AAAANNNN")
+	b := []byte("NNNNTTTT")
+	r := Overlap(a, b, DefaultOverlapParams())
+	if r.Matches != 0 {
+		t.Errorf("N bases counted as matches: %+v", r)
+	}
+}
+
+// Property: for random sequences sharing a planted overlap of length L ≥
+// 12, Overlap recovers at least 80% of it.
+func TestPropertyOverlapRecovery(t *testing.T) {
+	f := func(seed uint32, lRaw uint8) bool {
+		l := int(lRaw%40) + 12
+		rngState := seed | 1
+		nextBase := func() byte {
+			rngState = rngState*1664525 + 1013904223
+			return "ACGT"[rngState>>30]
+		}
+		mid := make([]byte, l)
+		for i := range mid {
+			mid[i] = nextBase()
+		}
+		pre := make([]byte, 20)
+		post := make([]byte, 20)
+		for i := range pre {
+			pre[i] = nextBase()
+			post[i] = nextBase()
+		}
+		a := append(append([]byte{}, pre...), mid...)
+		b := append(append([]byte{}, mid...), post...)
+		r := Overlap(a, b, DefaultOverlapParams())
+		return r.Matches >= l*8/10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identity is always within [0,1] and Matches ≤ Length.
+func TestPropertyResultInvariants(t *testing.T) {
+	f := func(ra, rb []byte) bool {
+		a := make([]byte, len(ra)%48)
+		b := make([]byte, len(rb)%48)
+		for i := range a {
+			a[i] = "ACGT"[int(ra[i])%4]
+		}
+		for i := range b {
+			b[i] = "ACGT"[int(rb[i])%4]
+		}
+		r := Overlap(a, b, DefaultOverlapParams())
+		if r.Matches > r.Length {
+			return false
+		}
+		id := r.Identity()
+		return id >= 0 && id <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Score: 10, AStart: 1, AEnd: 5, BEnd: 4, Matches: 4, Length: 4}
+	if !bytes.Contains([]byte(r.String()), []byte("score=10")) {
+		t.Errorf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,102 @@
+package align
+
+// Fit computes the best "glocal" alignment of all of b within a: b must be
+// consumed entirely, while a contributes free leading and trailing
+// context. It is how the assembler detects containment (one read lying
+// wholly inside another), which a dovetail Overlap cannot express.
+//
+// The result's AStart/AEnd delimit the region of a that b occupies;
+// BStart is 0 and BEnd is len(b). A zero-score Result means no
+// positive-scoring fit exists.
+func Fit(a, b []byte, p OverlapParams) Result {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return Result{}
+	}
+	gap := p.GapOpen + p.GapExtend
+	negInf := -1 << 30
+
+	type cell struct{ matches, length int }
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	prevT := make([]cell, m+1)
+	curT := make([]cell, m+1)
+	prevStart := make([]int, m+1)
+	curStart := make([]int, m+1)
+
+	// Row 0 (no a consumed): aligning b[0..j) requires j gap columns.
+	prev[0] = 0
+	for j := 1; j <= m; j++ {
+		prev[j] = -gap * j
+		prevT[j] = cell{0, j}
+	}
+
+	bestScore, bestI := negInf, -1
+	var bestCell cell
+	bestStart := 0
+	if prev[m] > bestScore {
+		bestScore, bestI = prev[m], 0
+		bestCell = prevT[m]
+	}
+
+	for i := 1; i <= n; i++ {
+		// Free leading context on a.
+		cur[0] = 0
+		curT[0] = cell{}
+		curStart[0] = i
+		for j := 1; j <= m; j++ {
+			s := negInf
+			var tc cell
+			var st int
+			if prev[j-1] > negInf {
+				sc := p.Match
+				eq := baseEqual(a[i-1], b[j-1])
+				if !eq {
+					sc = -p.Mismatch
+				}
+				if v := prev[j-1] + sc; v > s {
+					s = v
+					tc = cell{prevT[j-1].matches + b2i(eq), prevT[j-1].length + 1}
+					st = prevStart[j-1]
+				}
+			}
+			if prev[j] > negInf {
+				if v := prev[j] - gap; v > s {
+					s = v
+					tc = cell{prevT[j].matches, prevT[j].length + 1}
+					st = prevStart[j]
+				}
+			}
+			if cur[j-1] > negInf {
+				if v := cur[j-1] - gap; v > s {
+					s = v
+					tc = cell{curT[j-1].matches, curT[j-1].length + 1}
+					st = curStart[j-1]
+				}
+			}
+			cur[j] = s
+			curT[j] = tc
+			curStart[j] = st
+		}
+		if cur[m] > bestScore {
+			bestScore, bestI = cur[m], i
+			bestCell = curT[m]
+			bestStart = curStart[m]
+		}
+		prev, cur = cur, prev
+		prevT, curT = curT, prevT
+		prevStart, curStart = curStart, prevStart
+	}
+	if bestScore <= 0 || bestI < 0 {
+		return Result{}
+	}
+	return Result{
+		Score:   bestScore,
+		AStart:  bestStart,
+		AEnd:    bestI,
+		BStart:  0,
+		BEnd:    m,
+		Matches: bestCell.matches,
+		Length:  bestCell.length,
+	}
+}

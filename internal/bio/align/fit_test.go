@@ -1,0 +1,68 @@
+package align
+
+import "testing"
+
+func TestFitExactContainment(t *testing.T) {
+	a := []byte("GGGGGACGTACGTACGTTTTTT")
+	b := []byte("ACGTACGTACGT")
+	r := Fit(a, b, DefaultOverlapParams())
+	if r.BEnd != len(b) {
+		t.Fatalf("BEnd = %d, want %d", r.BEnd, len(b))
+	}
+	if r.AStart != 5 || r.AEnd != 17 {
+		t.Errorf("a range = %d..%d, want 5..17", r.AStart, r.AEnd)
+	}
+	if r.Identity() != 1.0 || r.Matches != len(b) {
+		t.Errorf("identity = %v matches = %d", r.Identity(), r.Matches)
+	}
+}
+
+func TestFitAtStartAndEnd(t *testing.T) {
+	b := []byte("ACGTACGTACGT")
+	head := append(append([]byte{}, b...), []byte("GGGGGG")...)
+	r := Fit(head, b, DefaultOverlapParams())
+	if r.AStart != 0 || r.AEnd != len(b) {
+		t.Errorf("prefix fit = %d..%d", r.AStart, r.AEnd)
+	}
+	tail := append([]byte("GGGGGG"), b...)
+	r = Fit(tail, b, DefaultOverlapParams())
+	if r.AStart != 6 || r.AEnd != len(tail) {
+		t.Errorf("suffix fit = %d..%d", r.AStart, r.AEnd)
+	}
+}
+
+func TestFitWithMismatch(t *testing.T) {
+	a := []byte("TTTTACGTACGTACGTTTTT")
+	b := []byte("ACGTACCTACGT") // one mismatch
+	r := Fit(a, b, DefaultOverlapParams())
+	if r.BEnd != len(b) {
+		t.Fatal("b not fully consumed")
+	}
+	if r.Matches != len(b)-1 {
+		t.Errorf("matches = %d, want %d", r.Matches, len(b)-1)
+	}
+}
+
+func TestFitNoMatch(t *testing.T) {
+	r := Fit([]byte("AAAAAAAAAAAA"), []byte("GGGGGGGG"), DefaultOverlapParams())
+	if r.Score > 0 {
+		t.Errorf("fit found in dissimilar sequences: %+v", r)
+	}
+}
+
+func TestFitEmpty(t *testing.T) {
+	if r := Fit(nil, []byte("AC"), DefaultOverlapParams()); r.Score != 0 {
+		t.Errorf("empty a: %+v", r)
+	}
+	if r := Fit([]byte("AC"), nil, DefaultOverlapParams()); r.Score != 0 {
+		t.Errorf("empty b: %+v", r)
+	}
+}
+
+func TestFitLongerThanA(t *testing.T) {
+	// b longer than a: must pay gap penalties, typically non-positive.
+	r := Fit([]byte("ACGT"), []byte("ACGTACGTACGTACGT"), DefaultOverlapParams())
+	if r.Score > 0 && r.BEnd != 16 {
+		t.Errorf("fit of longer b = %+v", r)
+	}
+}

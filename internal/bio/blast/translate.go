@@ -1,0 +1,8 @@
+package blast
+
+import "pegflow/internal/bio/seq"
+
+// translate adapts seq.Translate for the search pipeline.
+func translate(dna []byte, frame int) ([]byte, error) {
+	return seq.Translate(dna, frame)
+}

@@ -1,0 +1,205 @@
+package blast2cap3
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pegflow/internal/bio/blast"
+	"pegflow/internal/bio/cap3"
+	"pegflow/internal/bio/datagen"
+	"pegflow/internal/bio/fasta"
+)
+
+func hit(q, s string, bits float64) blast.Hit {
+	return blast.Hit{QueryID: q, SubjectID: s, PercentIdentity: 95, Length: 50,
+		QStart: 1, QEnd: 150, SStart: 1, SEnd: 50, EValue: 1e-20, BitScore: bits}
+}
+
+func TestClusterByProteinBestHitWins(t *testing.T) {
+	hits := []blast.Hit{
+		hit("tr1", "protA", 100),
+		hit("tr1", "protB", 200), // better
+		hit("tr2", "protB", 90),
+		hit("tr3", "protA", 50),
+	}
+	clusters, err := ClusterByProtein(hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d", len(clusters))
+	}
+	// Sorted by protein: protA then protB.
+	if clusters[0].Protein != "protA" || len(clusters[0].TranscriptIDs) != 1 ||
+		clusters[0].TranscriptIDs[0] != "tr3" {
+		t.Errorf("protA cluster = %+v", clusters[0])
+	}
+	if clusters[1].Protein != "protB" || len(clusters[1].TranscriptIDs) != 2 {
+		t.Errorf("protB cluster = %+v", clusters[1])
+	}
+}
+
+func TestClusterByProteinTieBreaksDeterministically(t *testing.T) {
+	hits := []blast.Hit{hit("tr1", "protB", 100), hit("tr1", "protA", 100)}
+	clusters, err := ClusterByProtein(hits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || clusters[0].Protein != "protA" {
+		t.Errorf("tie did not break to lexicographically first: %+v", clusters)
+	}
+}
+
+func TestClusterByProteinRejectsEmptyIDs(t *testing.T) {
+	if _, err := ClusterByProtein([]blast.Hit{{QueryID: "", SubjectID: "p"}}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestSplitClustersRoundRobin(t *testing.T) {
+	var clusters []Cluster
+	for i := 0; i < 10; i++ {
+		clusters = append(clusters, Cluster{Protein: fmt.Sprintf("p%02d", i)})
+	}
+	chunks, err := SplitClusters(clusters, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	if len(chunks[0]) != 4 || len(chunks[1]) != 3 || len(chunks[2]) != 3 {
+		t.Errorf("chunk sizes = %d/%d/%d", len(chunks[0]), len(chunks[1]), len(chunks[2]))
+	}
+	if chunks[0][0].Protein != "p00" || chunks[1][0].Protein != "p01" {
+		t.Errorf("assignment not round-robin")
+	}
+	if _, err := SplitClusters(clusters, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestSplitClustersMoreChunksThanClusters(t *testing.T) {
+	chunks, err := SplitClusters([]Cluster{{Protein: "p"}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, c := range chunks {
+		if len(c) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Errorf("non-empty chunks = %d", nonEmpty)
+	}
+}
+
+func TestRunSerialOnSyntheticData(t *testing.T) {
+	ds, err := datagen.Generate(datagen.DefaultConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSerial(ds.Transcripts, ds.TruthHits, cap3.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Contigs == 0 {
+		t.Fatal("no contigs assembled from clustered synthetic data")
+	}
+	if res.Joined < 2*res.Contigs {
+		t.Errorf("joined = %d for %d contigs", res.Joined, res.Contigs)
+	}
+	// The assembly must shrink relative to the input (the paper cites
+	// 8-9% for wheat; our synthetic clusters shrink far more).
+	if len(res.Assembly) >= len(ds.Transcripts) {
+		t.Errorf("assembly size %d not below input %d", len(res.Assembly), len(ds.Transcripts))
+	}
+	if res.ReductionFraction(len(ds.Transcripts)) <= 0 {
+		t.Error("no reduction")
+	}
+	// Noise transcripts must pass through untouched.
+	found := 0
+	for _, rec := range res.Assembly {
+		if len(rec.ID) >= 8 && rec.ID[:8] == "tr_noise" {
+			found++
+		}
+	}
+	if found != 5 {
+		t.Errorf("noise passthrough = %d, want 5", found)
+	}
+}
+
+func TestRunParallelEquivalentToSerialForAnyN(t *testing.T) {
+	ds, err := datagen.Generate(datagen.DefaultConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunSerial(ds.Transcripts, ds.TruthHits, cap3.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 7, 50} {
+		par, err := RunParallel(ds.Transcripts, ds.TruthHits, n, cap3.DefaultParams())
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if par.Contigs != serial.Contigs || par.Joined != serial.Joined {
+			t.Errorf("n=%d: contigs/joined = %d/%d, serial %d/%d",
+				n, par.Contigs, par.Joined, serial.Contigs, serial.Joined)
+		}
+		if len(par.Assembly) != len(serial.Assembly) {
+			t.Fatalf("n=%d: assembly size %d != serial %d", n, len(par.Assembly), len(serial.Assembly))
+		}
+		for i := range par.Assembly {
+			if par.Assembly[i].ID != serial.Assembly[i].ID ||
+				!bytes.Equal(par.Assembly[i].Seq, serial.Assembly[i].Seq) {
+				t.Fatalf("n=%d: assembly record %d differs (%s vs %s)",
+					n, i, par.Assembly[i].ID, serial.Assembly[i].ID)
+			}
+		}
+	}
+}
+
+func TestAssembleChunkUnknownTranscript(t *testing.T) {
+	chunk := []Cluster{{Protein: "p", TranscriptIDs: []string{"ghost", "ghost2"}}}
+	_, _, err := AssembleChunk(chunk, map[string]*fasta.Record{}, cap3.DefaultParams())
+	if err == nil {
+		t.Error("unknown transcript accepted")
+	}
+}
+
+func TestMergeNotJoinedPassthrough(t *testing.T) {
+	contigs := []*fasta.Record{{ID: "c1", Seq: []byte("ACGT")}}
+	transcripts := []*fasta.Record{
+		{ID: "a", Seq: []byte("AA")},
+		{ID: "b", Seq: []byte("CC")},
+		{ID: "c", Seq: []byte("GG")},
+	}
+	out := MergeNotJoined(contigs, transcripts, []string{"b"})
+	if len(out) != 3 {
+		t.Fatalf("out = %d records", len(out))
+	}
+	ids := []string{out[0].ID, out[1].ID, out[2].ID}
+	if ids[0] != "c1" || ids[1] != "a" || ids[2] != "c" {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestRunSerialDuplicateTranscript(t *testing.T) {
+	trs := []*fasta.Record{{ID: "a", Seq: []byte("ACGT")}, {ID: "a", Seq: []byte("ACGT")}}
+	if _, err := RunSerial(trs, nil, cap3.DefaultParams()); err == nil {
+		t.Error("duplicate transcript accepted")
+	}
+}
+
+func TestReductionFraction(t *testing.T) {
+	r := &Result{Assembly: make([]*fasta.Record, 91)}
+	if got := r.ReductionFraction(100); got != 0.09 {
+		t.Errorf("reduction = %v, want 0.09 (the paper's 8-9%% band)", got)
+	}
+	if got := r.ReductionFraction(0); got != 0 {
+		t.Errorf("zero input reduction = %v", got)
+	}
+}

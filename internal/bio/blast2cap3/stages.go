@@ -1,0 +1,251 @@
+package blast2cap3
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pegflow/internal/bio/blast"
+	"pegflow/internal/bio/cap3"
+	"pegflow/internal/bio/fasta"
+	"pegflow/internal/engine"
+)
+
+// File-level stage implementations: each function is one workflow
+// transformation operating on files in a working directory, exactly as
+// the Pegasus tasks do on the remote site. Registry wires them to the
+// transformation names used by the DAX builder (package workflow), so the
+// same abstract workflow that the simulator times can be executed for
+// real through engine.LocalExecutor.
+
+// StageCreateListTranscripts normalizes transcripts.fasta into the
+// transcript dictionary file (the pickled SeqIO dict of the original
+// Python implementation; here a normalized FASTA).
+func StageCreateListTranscripts(dir, in, out string) error {
+	recs, err := fasta.ReadFile(filepath.Join(dir, in))
+	if err != nil {
+		return fmt.Errorf("create_list_transcripts: %w", err)
+	}
+	if err := fasta.WriteFile(filepath.Join(dir, out), recs); err != nil {
+		return fmt.Errorf("create_list_transcripts: %w", err)
+	}
+	return nil
+}
+
+// StageCreateListAlignments writes the sorted list of distinct query IDs
+// appearing in alignments.out.
+func StageCreateListAlignments(dir, in, out string) error {
+	hits, err := blast.ParseTabularFile(filepath.Join(dir, in))
+	if err != nil {
+		return fmt.Errorf("create_list_alignments: %w", err)
+	}
+	seen := make(map[string]bool)
+	var ids []string
+	for _, h := range hits {
+		if !seen[h.QueryID] {
+			seen[h.QueryID] = true
+			ids = append(ids, h.QueryID)
+		}
+	}
+	sort.Strings(ids)
+	return os.WriteFile(filepath.Join(dir, out),
+		[]byte(strings.Join(ids, "\n")+"\n"), 0o644)
+}
+
+// StageSplit divides alignments.out into n per-chunk tabular files
+// protein_1.txt .. protein_n.txt, assigning whole protein clusters
+// round-robin (never splitting a cluster).
+func StageSplit(dir, in string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("split: non-positive n %d", n)
+	}
+	hits, err := blast.ParseTabularFile(filepath.Join(dir, in))
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	clusters, err := ClusterByProtein(hits)
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	chunks, err := SplitClusters(clusters, n)
+	if err != nil {
+		return fmt.Errorf("split: %w", err)
+	}
+	// Index hits by (query, protein of its best hit) so each chunk file
+	// carries the hits of its clusters.
+	bestProtein := make(map[string]string)
+	for _, c := range clusters {
+		for _, id := range c.TranscriptIDs {
+			bestProtein[id] = c.Protein
+		}
+	}
+	chunkOf := make(map[string]int)
+	for ci, chunk := range chunks {
+		for _, c := range chunk {
+			chunkOf[c.Protein] = ci
+		}
+	}
+	perChunk := make([][]blast.Hit, n)
+	for _, h := range hits {
+		if bestProtein[h.QueryID] != h.SubjectID {
+			continue // not the assigning hit
+		}
+		ci := chunkOf[h.SubjectID]
+		perChunk[ci] = append(perChunk[ci], h)
+	}
+	for i := 0; i < n; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("protein_%d.txt", i+1))
+		if err := blast.WriteTabularFile(path, perChunk[i]); err != nil {
+			return fmt.Errorf("split: %w", err)
+		}
+	}
+	return nil
+}
+
+// StageRunCAP3 assembles the clusters of one chunk: it reads the
+// transcript dictionary and the chunk's alignment file, runs CAP3 per
+// cluster and writes the joined contigs. Each contig's description embeds
+// the member transcript IDs ("joined=a;b;c") so the final merge can
+// compute the unjoined set.
+func StageRunCAP3(dir, dictFile, proteinFile, outFile string, params cap3.Params) error {
+	recs, err := fasta.ReadFile(filepath.Join(dir, dictFile))
+	if err != nil {
+		return fmt.Errorf("run_cap3: %w", err)
+	}
+	index := make(map[string]*fasta.Record, len(recs))
+	for _, r := range recs {
+		index[r.ID] = r
+	}
+	hits, err := blast.ParseTabularFile(filepath.Join(dir, proteinFile))
+	if err != nil {
+		return fmt.Errorf("run_cap3: %w", err)
+	}
+	clusters, err := ClusterByProtein(hits)
+	if err != nil {
+		return fmt.Errorf("run_cap3: %w", err)
+	}
+	var out []*fasta.Record
+	for _, cluster := range clusters {
+		var members []*fasta.Record
+		for _, id := range cluster.TranscriptIDs {
+			rec, ok := index[id]
+			if !ok {
+				return fmt.Errorf("run_cap3: cluster %q references unknown transcript %q",
+					cluster.Protein, id)
+			}
+			members = append(members, rec)
+		}
+		if len(members) < 2 {
+			continue
+		}
+		res, err := cap3.Assemble(members, params)
+		if err != nil {
+			return fmt.Errorf("run_cap3: cluster %q: %w", cluster.Protein, err)
+		}
+		for _, c := range res.Contigs {
+			ids := make([]string, 0, len(c.Reads))
+			for _, p := range c.Reads {
+				ids = append(ids, p.ReadID)
+			}
+			sort.Strings(ids)
+			out = append(out, &fasta.Record{
+				ID:   fmt.Sprintf("%s_%s", cluster.Protein, c.ID),
+				Desc: "joined=" + strings.Join(ids, ";"),
+				Seq:  c.Seq,
+			})
+		}
+	}
+	return fasta.WriteFile(filepath.Join(dir, outFile), out)
+}
+
+// StageMerge concatenates the n per-chunk joined files into one.
+func StageMerge(dir string, n int, outFile string) error {
+	var all []*fasta.Record
+	for i := 1; i <= n; i++ {
+		recs, err := fasta.ReadFile(filepath.Join(dir, fmt.Sprintf("joined_%d.fasta", i)))
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		all = append(all, recs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return fasta.WriteFile(filepath.Join(dir, outFile), all)
+}
+
+// StageMergeNotJoined writes the final assembly: contigs plus every
+// transcript not named in any contig's joined= list.
+func StageMergeNotJoined(dir, joinedFile, dictFile, outFile string) error {
+	contigs, err := fasta.ReadFile(filepath.Join(dir, joinedFile))
+	if err != nil {
+		return fmt.Errorf("merge_not_joined: %w", err)
+	}
+	transcripts, err := fasta.ReadFile(filepath.Join(dir, dictFile))
+	if err != nil {
+		return fmt.Errorf("merge_not_joined: %w", err)
+	}
+	var joined []string
+	for _, c := range contigs {
+		for _, kv := range strings.Fields(c.Desc) {
+			if rest, ok := strings.CutPrefix(kv, "joined="); ok {
+				joined = append(joined, strings.Split(rest, ";")...)
+			}
+		}
+	}
+	final := MergeNotJoined(contigs, transcripts, joined)
+	return fasta.WriteFile(filepath.Join(dir, outFile), final)
+}
+
+// Registry builds the transformation registry executing the blast2cap3
+// workflow stages for real under engine.LocalExecutor. Argument
+// conventions match the DAX builder in package workflow.
+func Registry(params cap3.Params) engine.Registry {
+	return engine.Registry{
+		"create_list_transcripts": func(ctx *engine.TaskContext) error {
+			if len(ctx.Args) != 2 {
+				return fmt.Errorf("create_list_transcripts: want 2 args, got %v", ctx.Args)
+			}
+			return StageCreateListTranscripts(ctx.WorkDir, ctx.Args[0], ctx.Args[1])
+		},
+		"create_list_alignments": func(ctx *engine.TaskContext) error {
+			if len(ctx.Args) != 2 {
+				return fmt.Errorf("create_list_alignments: want 2 args, got %v", ctx.Args)
+			}
+			return StageCreateListAlignments(ctx.WorkDir, ctx.Args[0], ctx.Args[1])
+		},
+		"split": func(ctx *engine.TaskContext) error {
+			if len(ctx.Args) != 3 || ctx.Args[0] != "-n" {
+				return fmt.Errorf("split: want [-n N file], got %v", ctx.Args)
+			}
+			n, err := strconv.Atoi(ctx.Args[1])
+			if err != nil {
+				return fmt.Errorf("split: bad n %q", ctx.Args[1])
+			}
+			return StageSplit(ctx.WorkDir, ctx.Args[2], n)
+		},
+		"run_cap3": func(ctx *engine.TaskContext) error {
+			if len(ctx.Args) != 3 {
+				return fmt.Errorf("run_cap3: want [dict protein out], got %v", ctx.Args)
+			}
+			return StageRunCAP3(ctx.WorkDir, ctx.Args[0], ctx.Args[1], ctx.Args[2], params)
+		},
+		"merge": func(ctx *engine.TaskContext) error {
+			if len(ctx.Args) != 3 || ctx.Args[0] != "-n" {
+				return fmt.Errorf("merge: want [-n N out], got %v", ctx.Args)
+			}
+			n, err := strconv.Atoi(ctx.Args[1])
+			if err != nil {
+				return fmt.Errorf("merge: bad n %q", ctx.Args[1])
+			}
+			return StageMerge(ctx.WorkDir, n, ctx.Args[2])
+		},
+		"merge_not_joined": func(ctx *engine.TaskContext) error {
+			if len(ctx.Args) != 3 {
+				return fmt.Errorf("merge_not_joined: want [joined dict out], got %v", ctx.Args)
+			}
+			return StageMergeNotJoined(ctx.WorkDir, ctx.Args[0], ctx.Args[1], ctx.Args[2])
+		},
+	}
+}

@@ -1,0 +1,240 @@
+package blast2cap3
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pegflow/internal/bio/blast"
+	"pegflow/internal/bio/cap3"
+	"pegflow/internal/bio/datagen"
+	"pegflow/internal/bio/fasta"
+	"pegflow/internal/catalog"
+	"pegflow/internal/engine"
+	"pegflow/internal/planner"
+	"pegflow/internal/workflow"
+)
+
+// writeInputs materializes a synthetic dataset as the two workflow input
+// files.
+func writeInputs(t *testing.T, dir string, ds *datagen.Dataset) {
+	t.Helper()
+	if err := fasta.WriteFile(filepath.Join(dir, "transcripts.fasta"), ds.Transcripts); err != nil {
+		t.Fatal(err)
+	}
+	if err := blast.WriteTabularFile(filepath.Join(dir, "alignments.out"), ds.TruthHits); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagesPipelineMatchesRunSerial(t *testing.T) {
+	ds, err := datagen.Generate(datagen.DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeInputs(t, dir, ds)
+	const n = 3
+	params := cap3.DefaultParams()
+
+	// Run the stages by hand in dependency order.
+	if err := StageCreateListTranscripts(dir, "transcripts.fasta", "transcripts_dict.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := StageCreateListAlignments(dir, "alignments.out", "alignments_list.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := StageSplit(dir, "alignments.out", n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := StageRunCAP3(dir, "transcripts_dict.txt",
+			filepath.Join(dir, "protein_"+itoa(i)+".txt")[len(dir)+1:],
+			"joined_"+itoa(i)+".fasta", params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := StageMerge(dir, n, "joined_all.fasta"); err != nil {
+		t.Fatal(err)
+	}
+	if err := StageMergeNotJoined(dir, "joined_all.fasta", "transcripts_dict.txt", "final_assembly.fasta"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := fasta.ReadFile(filepath.Join(dir, "final_assembly.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSerial(ds.Transcripts, ds.TruthHits, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Assembly) {
+		t.Fatalf("file pipeline produced %d records, serial %d", len(got), len(want.Assembly))
+	}
+	for i := range got {
+		if got[i].ID != want.Assembly[i].ID || !bytes.Equal(got[i].Seq, want.Assembly[i].Seq) {
+			t.Fatalf("record %d differs: %s vs %s", i, got[i].ID, want.Assembly[i].ID)
+		}
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+// TestWorkflowEndToEndLocalExecutor is the golden integration test: build
+// the same abstract DAX the paper's experiments use, plan it for a local
+// site, execute it with the real transformation registry under the
+// DAGMan-style engine, and check the final assembly equals the serial
+// reference.
+func TestWorkflowEndToEndLocalExecutor(t *testing.T) {
+	ds, err := datagen.Generate(datagen.DefaultConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeInputs(t, dir, ds)
+
+	const n = 4
+	abstract, err := workflow.BuildDAX(workflow.BuilderConfig{N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := catalog.NewSiteCatalog()
+	if err := sc.Add(&catalog.Site{Name: "local", Slots: 4, SpeedFactor: 1, SharedSoftware: true}); err != nil {
+		t.Fatal(err)
+	}
+	tc := catalog.NewTransformationCatalog()
+	for _, tr := range workflow.Transformations() {
+		if err := tc.Add(&catalog.Transformation{Name: tr, Site: "local", Installed: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := planner.New(abstract, planner.Catalogs{
+		Sites: sc, Transformations: tc, Replicas: catalog.NewReplicaCatalog(),
+	}, planner.Options{Site: "local"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := engine.NewLocalExecutor(Registry(cap3.DefaultParams()), dir, 4)
+	res, err := engine.Run(plan, ex, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		for _, r := range res.Log.Failures() {
+			t.Logf("failure: %s: %s", r.JobID, r.ExitMessage)
+		}
+		t.Fatalf("workflow failed: unfinished %v", res.Unfinished)
+	}
+	if res.Log.Len() != n+5 {
+		t.Errorf("attempts = %d, want %d", res.Log.Len(), n+5)
+	}
+
+	got, err := fasta.ReadFile(filepath.Join(dir, "final_assembly.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunSerial(ds.Transcripts, ds.TruthHits, cap3.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Assembly) {
+		t.Fatalf("workflow produced %d records, serial %d", len(got), len(want.Assembly))
+	}
+	for i := range got {
+		if got[i].ID != want.Assembly[i].ID || !bytes.Equal(got[i].Seq, want.Assembly[i].Seq) {
+			t.Fatalf("record %d differs: %s vs %s", i, got[i].ID, want.Assembly[i].ID)
+		}
+	}
+	// Intermediate artifacts must exist (protein chunks, joined files).
+	for i := 1; i <= n; i++ {
+		for _, name := range []string{"protein_", "joined_"} {
+			ext := ".txt"
+			if name == "joined_" {
+				ext = ".fasta"
+			}
+			if _, err := os.Stat(filepath.Join(dir, name+itoa(i)+ext)); err != nil {
+				t.Errorf("missing intermediate %s%d%s: %v", name, i, ext, err)
+			}
+		}
+	}
+}
+
+func TestStageSplitPreservesAllClusters(t *testing.T) {
+	ds, err := datagen.Generate(datagen.DefaultConfig(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	writeInputs(t, dir, ds)
+	const n = 3
+	if err := StageSplit(dir, "alignments.out", n); err != nil {
+		t.Fatal(err)
+	}
+	// Every transcript with a hit appears in exactly one chunk file.
+	seen := map[string]int{}
+	for i := 1; i <= n; i++ {
+		hits, err := blast.ParseTabularFile(filepath.Join(dir, "protein_"+itoa(i)+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			seen[h.QueryID]++
+		}
+	}
+	clusters, err := ClusterByProtein(ds.TruthHits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range clusters {
+		total += len(c.TranscriptIDs)
+		for _, id := range c.TranscriptIDs {
+			if seen[id] != 1 {
+				t.Errorf("transcript %s appears %d times across chunks", id, seen[id])
+			}
+		}
+	}
+	if len(seen) != total {
+		t.Errorf("chunk files carry %d transcripts, clusters have %d", len(seen), total)
+	}
+}
+
+func TestStageErrorsOnMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := StageCreateListTranscripts(dir, "missing.fasta", "out"); err == nil {
+		t.Error("missing transcripts accepted")
+	}
+	if err := StageSplit(dir, "missing.out", 2); err == nil {
+		t.Error("missing alignments accepted")
+	}
+	if err := StageSplit(dir, "missing.out", 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := StageRunCAP3(dir, "no_dict", "no_chunk", "out", cap3.DefaultParams()); err == nil {
+		t.Error("missing dict accepted")
+	}
+	if err := StageMerge(dir, 1, "out"); err == nil {
+		t.Error("missing joined file accepted")
+	}
+	if err := StageMergeNotJoined(dir, "no_joined", "no_dict", "out"); err == nil {
+		t.Error("missing inputs accepted")
+	}
+}
+
+func TestRegistryCoversAllTransformations(t *testing.T) {
+	reg := Registry(cap3.DefaultParams())
+	for _, tr := range workflow.Transformations() {
+		if _, ok := reg[tr]; !ok {
+			t.Errorf("registry missing transformation %q", tr)
+		}
+	}
+	// Argument validation paths.
+	bad := &engine.TaskContext{Args: []string{"x"}, WorkDir: t.TempDir()}
+	for name, fn := range reg {
+		if err := fn(bad); err == nil {
+			t.Errorf("%s accepted bad args", name)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package datagen generates synthetic protein databases and transcriptomes
+// with the structure blast2cap3 exploits: groups of transcripts derived
+// from a common protein, overlapping enough for CAP3 to merge them. It is
+// the stand-in for the paper's proprietary-scale wheat dataset (NCBI
+// PRJNA191053): tests and examples run the real pipeline end-to-end on
+// data from this package.
+package datagen
+
+import (
+	"fmt"
+
+	"pegflow/internal/bio/blast"
+	"pegflow/internal/bio/fasta"
+	"pegflow/internal/bio/seq"
+	"pegflow/internal/sim/rng"
+)
+
+// Config sizes the synthetic dataset.
+type Config struct {
+	// Proteins is the number of database proteins (= potential
+	// clusters).
+	Proteins int
+	// ProteinLen is the residue length of each protein.
+	ProteinLen int
+	// ClusterSizes gives the number of transcript fragments per protein
+	// cluster; nil means 3 for every protein. Use rng.ZipfSizes for a
+	// heavy-tailed profile.
+	ClusterSizes []int
+	// FragmentLen is the nucleotide length of each transcript fragment.
+	FragmentLen int
+	// OverlapLen is the intended overlap between consecutive fragments
+	// of a cluster (must exceed the assembler's MinOverlap to be
+	// joinable).
+	OverlapLen int
+	// MutationRate is the per-base substitution probability applied to
+	// fragments (sequencing/assembly noise).
+	MutationRate float64
+	// NoiseTranscripts adds unrelated random transcripts with no
+	// protein hit (they must pass through unjoined).
+	NoiseTranscripts int
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultConfig returns a small dataset suitable for tests and examples.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Proteins:         8,
+		ProteinLen:       120,
+		FragmentLen:      240,
+		OverlapLen:       90,
+		MutationRate:     0.01,
+		NoiseTranscripts: 5,
+		Seed:             seed,
+	}
+}
+
+// Dataset is a generated input set plus its ground truth.
+type Dataset struct {
+	// Proteins is the protein database.
+	Proteins []blast.Protein
+	// Transcripts is the transcript set ("transcripts.fasta").
+	Transcripts []*fasta.Record
+	// TruthHits are alignment records derived from provenance — exactly
+	// one best hit per cluster member ("alignments.out" without running
+	// the aligner).
+	TruthHits []blast.Hit
+	// Genes maps protein ID to its full coding DNA (the sequence the
+	// cluster's fragments tile).
+	Genes map[string][]byte
+}
+
+// aminoAcids excludes stops; M start keeps translation honest.
+const aminoAcids = "ACDEFGHIKLMNPQRSTVWY"
+
+// Generate builds a dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Proteins <= 0 || cfg.ProteinLen <= 0 {
+		return nil, fmt.Errorf("datagen: non-positive protein count or length")
+	}
+	if cfg.FragmentLen <= 0 || cfg.OverlapLen < 0 || cfg.OverlapLen >= cfg.FragmentLen {
+		return nil, fmt.Errorf("datagen: fragment %d / overlap %d invalid", cfg.FragmentLen, cfg.OverlapLen)
+	}
+	if cfg.MutationRate < 0 || cfg.MutationRate > 0.2 {
+		return nil, fmt.Errorf("datagen: mutation rate %v outside [0,0.2]", cfg.MutationRate)
+	}
+	base := rng.New(cfg.Seed).Derive("datagen")
+	protRNG := base.Derive("proteins")
+	fragRNG := base.Derive("fragments")
+	noiseRNG := base.Derive("noise")
+
+	ds := &Dataset{Genes: make(map[string][]byte)}
+	sizes := cfg.ClusterSizes
+	if sizes == nil {
+		sizes = make([]int, cfg.Proteins)
+		for i := range sizes {
+			sizes[i] = 3
+		}
+	}
+	if len(sizes) != cfg.Proteins {
+		return nil, fmt.Errorf("datagen: %d cluster sizes for %d proteins", len(sizes), cfg.Proteins)
+	}
+
+	for pi := 0; pi < cfg.Proteins; pi++ {
+		pid := fmt.Sprintf("prot%04d", pi+1)
+		prot := make([]byte, cfg.ProteinLen)
+		prot[0] = 'M'
+		for i := 1; i < cfg.ProteinLen; i++ {
+			prot[i] = aminoAcids[protRNG.Intn(len(aminoAcids))]
+		}
+		ds.Proteins = append(ds.Proteins, blast.Protein{ID: pid, Seq: prot})
+
+		// Reverse-translate with random synonymous codons to get the
+		// gene, sized so the cluster's fragments tile it.
+		step := cfg.FragmentLen - cfg.OverlapLen
+		geneLen := cfg.FragmentLen + step*(sizes[pi]-1)
+		gene := reverseTranslate(prot, protRNG)
+		for len(gene) < geneLen {
+			// Extend with UTR-like random sequence so fragments of
+			// large clusters have room (non-coding tail).
+			gene = append(gene, "ACGT"[protRNG.Intn(4)])
+		}
+
+		ds.Genes[pid] = gene
+		for f := 0; f < sizes[pi]; f++ {
+			start := f * step
+			end := start + cfg.FragmentLen
+			if end > len(gene) {
+				end = len(gene)
+			}
+			frag := append([]byte(nil), gene[start:end]...)
+			mutate(frag, cfg.MutationRate, fragRNG)
+			tid := fmt.Sprintf("tr_%s_%03d", pid, f+1)
+			ds.Transcripts = append(ds.Transcripts, &fasta.Record{
+				ID:   tid,
+				Desc: fmt.Sprintf("from=%s pos=%d-%d", pid, start, end),
+				Seq:  frag,
+			})
+			covered := end - start
+			if covered > 3*cfg.ProteinLen {
+				covered = 3 * cfg.ProteinLen
+			}
+			alnLen := covered / 3
+			ds.TruthHits = append(ds.TruthHits, blast.Hit{
+				QueryID:         tid,
+				SubjectID:       pid,
+				PercentIdentity: 100 * (1 - cfg.MutationRate),
+				Length:          alnLen,
+				QStart:          1,
+				QEnd:            covered,
+				SStart:          start/3 + 1,
+				SEnd:            start/3 + alnLen,
+				EValue:          1e-30,
+				BitScore:        2 * float64(alnLen),
+			})
+		}
+	}
+
+	for i := 0; i < cfg.NoiseTranscripts; i++ {
+		s := make([]byte, cfg.FragmentLen)
+		for j := range s {
+			s[j] = "ACGT"[noiseRNG.Intn(4)]
+		}
+		ds.Transcripts = append(ds.Transcripts, &fasta.Record{
+			ID:   fmt.Sprintf("tr_noise_%03d", i+1),
+			Desc: "unrelated",
+			Seq:  s,
+		})
+	}
+	return ds, nil
+}
+
+// reverseTranslate encodes a protein as DNA choosing codons uniformly.
+func reverseTranslate(prot []byte, r *rng.Stream) []byte {
+	out := make([]byte, 0, 3*len(prot))
+	for _, aa := range prot {
+		codons := seq.CodonsFor(aa)
+		if len(codons) == 0 {
+			codons = seq.CodonsFor('A')
+		}
+		out = append(out, codons[r.Intn(len(codons))]...)
+	}
+	return out
+}
+
+// mutate applies random substitutions in place.
+func mutate(s []byte, rate float64, r *rng.Stream) {
+	if rate <= 0 {
+		return
+	}
+	for i := range s {
+		if r.Float64() < rate {
+			s[i] = "ACGT"[r.Intn(4)]
+		}
+	}
+}
+
+// AlignWithBLAST runs the package blast search over the dataset and
+// returns the hits — the slow, fully-real path for producing
+// "alignments.out" (the paper ran NCBI BLASTX for this step).
+func (ds *Dataset) AlignWithBLAST(params blast.Params) ([]blast.Hit, error) {
+	db, err := blast.NewDB(ds.Proteins, params)
+	if err != nil {
+		return nil, err
+	}
+	var out []blast.Hit
+	for _, tr := range ds.Transcripts {
+		hits, err := db.Search(tr.ID, tr.Seq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hits...)
+	}
+	return out, nil
+}

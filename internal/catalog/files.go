@@ -1,0 +1,209 @@
+package catalog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File formats for the three catalogs, modeled on the plain-text catalog
+// files of Pegasus deployments (replica catalog "rc.txt", transformation
+// catalog "tc.txt", and a line-oriented site catalog). Lines starting with
+// '#' and blank lines are ignored everywhere.
+//
+// Site catalog, one site per line:
+//
+//	site <name> arch=<arch> os=<os> slots=<n> speed=<f> shared_software=<bool> stagein_mbps=<f> [heterogeneous=<bool>]
+//
+// Transformation catalog:
+//
+//	tr <name> site=<site> pfn=<path> [installed=<bool>] [install_bytes=<n>]
+//
+// Replica catalog:
+//
+//	<lfn> <pfn> site=<site>
+
+// WriteSites serializes the site catalog.
+func (c *SiteCatalog) WriteSites(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# pegflow site catalog")
+	for _, name := range c.Names() {
+		s := c.sites[name]
+		fmt.Fprintf(bw, "site %s arch=%s os=%s slots=%d speed=%g shared_software=%t stagein_mbps=%g heterogeneous=%t\n",
+			s.Name, orDash(s.Arch), orDash(s.OS), s.Slots, s.SpeedFactor,
+			s.SharedSoftware, s.StageInMBps, s.Heterogeneous)
+	}
+	return bw.Flush()
+}
+
+// ReadSites parses a site catalog file.
+func ReadSites(r io.Reader) (*SiteCatalog, error) {
+	c := NewSiteCatalog()
+	err := eachLine(r, func(lineNo int, fields []string) error {
+		if fields[0] != "site" || len(fields) < 2 {
+			return fmt.Errorf("catalog: line %d: expected \"site <name> k=v...\"", lineNo)
+		}
+		s := &Site{Name: fields[1], SpeedFactor: 1}
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("catalog: line %d: bad attribute %q", lineNo, kv)
+			}
+			var err error
+			switch k {
+			case "arch":
+				s.Arch = dashEmpty(v)
+			case "os":
+				s.OS = dashEmpty(v)
+			case "slots":
+				s.Slots, err = strconv.Atoi(v)
+			case "speed":
+				s.SpeedFactor, err = strconv.ParseFloat(v, 64)
+			case "shared_software":
+				s.SharedSoftware, err = strconv.ParseBool(v)
+			case "stagein_mbps":
+				s.StageInMBps, err = strconv.ParseFloat(v, 64)
+			case "heterogeneous":
+				s.Heterogeneous, err = strconv.ParseBool(v)
+			default:
+				return fmt.Errorf("catalog: line %d: unknown site attribute %q", lineNo, k)
+			}
+			if err != nil {
+				return fmt.Errorf("catalog: line %d: attribute %s: %v", lineNo, k, err)
+			}
+		}
+		return c.Add(s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteTransformations serializes the transformation catalog.
+func (c *TransformationCatalog) WriteTransformations(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# pegflow transformation catalog")
+	for _, name := range c.Names() {
+		bySite := c.entries[name]
+		sites := make([]string, 0, len(bySite))
+		for s := range bySite {
+			sites = append(sites, s)
+		}
+		sort.Strings(sites)
+		for _, s := range sites {
+			t := bySite[s]
+			fmt.Fprintf(bw, "tr %s site=%s pfn=%s installed=%t install_bytes=%d\n",
+				t.Name, t.Site, orDash(t.PFN), t.Installed, t.InstallBytes)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTransformations parses a transformation catalog file.
+func ReadTransformations(r io.Reader) (*TransformationCatalog, error) {
+	c := NewTransformationCatalog()
+	err := eachLine(r, func(lineNo int, fields []string) error {
+		if fields[0] != "tr" || len(fields) < 2 {
+			return fmt.Errorf("catalog: line %d: expected \"tr <name> k=v...\"", lineNo)
+		}
+		t := &Transformation{Name: fields[1]}
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("catalog: line %d: bad attribute %q", lineNo, kv)
+			}
+			var err error
+			switch k {
+			case "site":
+				t.Site = v
+			case "pfn":
+				t.PFN = dashEmpty(v)
+			case "installed":
+				t.Installed, err = strconv.ParseBool(v)
+			case "install_bytes":
+				t.InstallBytes, err = strconv.ParseInt(v, 10, 64)
+			default:
+				return fmt.Errorf("catalog: line %d: unknown transformation attribute %q", lineNo, k)
+			}
+			if err != nil {
+				return fmt.Errorf("catalog: line %d: attribute %s: %v", lineNo, k, err)
+			}
+		}
+		return c.Add(t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteReplicas serializes the replica catalog (rc.txt style).
+func (c *ReplicaCatalog) WriteReplicas(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# pegflow replica catalog")
+	for _, lfn := range c.LFNs() {
+		for _, rep := range c.replicas[lfn] {
+			fmt.Fprintf(bw, "%s %s site=%s\n", lfn, rep.PFN, rep.Site)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadReplicas parses a replica catalog file.
+func ReadReplicas(r io.Reader) (*ReplicaCatalog, error) {
+	c := NewReplicaCatalog()
+	err := eachLine(r, func(lineNo int, fields []string) error {
+		if len(fields) < 2 {
+			return fmt.Errorf("catalog: line %d: expected \"<lfn> <pfn> [site=...]\"", lineNo)
+		}
+		rep := Replica{PFN: fields[1], Site: "local"}
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok || k != "site" {
+				return fmt.Errorf("catalog: line %d: unknown replica attribute %q", lineNo, kv)
+			}
+			rep.Site = v
+		}
+		return c.Add(fields[0], rep)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// eachLine tokenizes non-empty, non-comment lines.
+func eachLine(r io.Reader, fn func(lineNo int, fields []string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := fn(lineNo, strings.Fields(line)); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}

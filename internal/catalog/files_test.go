@@ -1,0 +1,157 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSiteCatalogFileRoundTrip(t *testing.T) {
+	c := NewSiteCatalog()
+	if err := c.Add(&Site{Name: "sandhills", Arch: "x86_64", OS: "linux",
+		Slots: 300, SpeedFactor: 1.0, SharedSoftware: true, StageInMBps: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(&Site{Name: "osg", Slots: 600, SpeedFactor: 0.85,
+		Heterogeneous: true, StageInMBps: 40}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSites(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSites(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := got.Lookup("sandhills")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Arch != "x86_64" || sh.Slots != 300 || !sh.SharedSoftware || sh.StageInMBps != 200 {
+		t.Errorf("sandhills = %+v", sh)
+	}
+	osg, err := got.Lookup("osg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osg.Arch != "" || !osg.Heterogeneous || osg.SpeedFactor != 0.85 {
+		t.Errorf("osg = %+v", osg)
+	}
+}
+
+func TestReadSitesErrors(t *testing.T) {
+	bad := []string{
+		"notasite x slots=1 speed=1\n",
+		"site\n",
+		"site x slots=abc speed=1\n",
+		"site x slots=1 speed=1 wat=7\n",
+		"site x slots=1 speed=1 shared_software\n",
+		"site x slots=0 speed=1\n", // rejected by Add
+	}
+	for i, in := range bad {
+		if _, err := ReadSites(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad site line accepted: %q", i, in)
+		}
+	}
+}
+
+func TestReadSitesSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nsite a slots=2 speed=1.5\n"
+	c, err := ReadSites(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Lookup("a")
+	if err != nil || s.SpeedFactor != 1.5 {
+		t.Errorf("site a = %+v, %v", s, err)
+	}
+}
+
+func TestTransformationCatalogFileRoundTrip(t *testing.T) {
+	c := NewTransformationCatalog()
+	if err := c.Add(&Transformation{Name: "run_cap3", Site: "sandhills",
+		PFN: "/util/opt/cap3", Installed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(&Transformation{Name: "run_cap3", Site: "osg",
+		PFN: "cap3.tar.gz", InstallBytes: 45 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteTransformations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTransformations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := got.Lookup("run_cap3", "sandhills")
+	if err != nil || !a.Installed || a.PFN != "/util/opt/cap3" {
+		t.Errorf("sandhills entry = %+v, %v", a, err)
+	}
+	b, err := got.Lookup("run_cap3", "osg")
+	if err != nil || b.Installed || b.InstallBytes != 45<<20 {
+		t.Errorf("osg entry = %+v, %v", b, err)
+	}
+}
+
+func TestReadTransformationsErrors(t *testing.T) {
+	bad := []string{
+		"xx name site=s\n",
+		"tr\n",
+		"tr t site=s installed=maybe\n",
+		"tr t site=s install_bytes=many\n",
+		"tr t site=s color=red\n",
+		"tr t\n", // empty site rejected by Add
+	}
+	for i, in := range bad {
+		if _, err := ReadTransformations(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad tr line accepted: %q", i, in)
+		}
+	}
+}
+
+func TestReplicaCatalogFileRoundTrip(t *testing.T) {
+	c := NewReplicaCatalog()
+	if err := c.Add("transcripts.fasta", Replica{Site: "local", PFN: "/data/t.fasta"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("transcripts.fasta", Replica{Site: "osg", PFN: "gsiftp://x/t.fasta"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("alignments.out", Replica{Site: "local", PFN: "/data/a.out"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteReplicas(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReplicas(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := got.Lookup("transcripts.fasta")
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("replicas = %v, %v", rs, err)
+	}
+	if rs[0].Site != "local" || rs[1].PFN != "gsiftp://x/t.fasta" {
+		t.Errorf("replicas = %v", rs)
+	}
+}
+
+func TestReadReplicasDefaultSiteAndErrors(t *testing.T) {
+	got, err := ReadReplicas(strings.NewReader("f /path/f\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := got.Lookup("f")
+	if err != nil || rs[0].Site != "local" {
+		t.Errorf("default site = %v, %v", rs, err)
+	}
+	for i, in := range []string{"justonefield\n", "f /p color=red\n"} {
+		if _, err := ReadReplicas(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad replica line accepted", i)
+		}
+	}
+}

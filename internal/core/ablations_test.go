@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"pegflow/internal/workflow"
+)
+
+func TestVariantPreinstallOSGRemovesInstallTime(t *testing.T) {
+	e := DefaultExperiment(canonicalSeed)
+	base, err := e.RunWorkflow("osg", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := e.RunVariant("osg", 100, Variant{PreinstallOSG: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCap3 := findTask(base.PerTask, workflow.TrRunCAP3)
+	preCap3 := findTask(pre.PerTask, workflow.TrRunCAP3)
+	if baseCap3.MeanSetup <= 0 {
+		t.Error("baseline OSG has no install time")
+	}
+	if preCap3.MeanSetup != 0 {
+		t.Errorf("preinstalled OSG install time = %v, want 0", preCap3.MeanSetup)
+	}
+	if pre.WallTime() >= base.WallTime() {
+		t.Errorf("preinstalling did not help: %v vs %v", pre.WallTime(), base.WallTime())
+	}
+}
+
+func TestVariantDisablePreemptionStopsEvictions(t *testing.T) {
+	// Averaged over seeds, disabling the hazard removes evictions and
+	// reduces wall time at n=10 where retries are expensive.
+	var withEv, withoutEv float64
+	totalEv := 0
+	for s := uint64(0); s < 5; s++ {
+		e := DefaultExperiment(canonicalSeed + s)
+		a, err := e.RunWorkflow("osg", 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.RunVariant("osg", 10, Variant{DisablePreemption: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Result.Evictions != 0 {
+			t.Errorf("seed %d: evictions with hazard disabled: %d", s, b.Result.Evictions)
+		}
+		withEv += a.WallTime()
+		withoutEv += b.WallTime()
+		totalEv += a.Result.Evictions
+	}
+	if totalEv == 0 {
+		t.Error("no evictions across 5 seeds at n=10; hazard inert")
+	}
+	if withoutEv >= withEv {
+		t.Errorf("mean wall without evictions (%v) not below with (%v)", withoutEv/5, withEv/5)
+	}
+}
+
+func TestVariantClusteringReducesJobCount(t *testing.T) {
+	e := DefaultExperiment(canonicalSeed)
+	base, err := e.RunVariant("sandhills", 500, Variant{ClusterSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := e.RunVariant("sandhills", 500, Variant{ClusterSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Summary.Jobs != 505 {
+		t.Errorf("unclustered jobs = %d, want 505", base.Summary.Jobs)
+	}
+	if clustered.Summary.Jobs >= base.Summary.Jobs/4 {
+		t.Errorf("clustered jobs = %d, want far fewer than %d", clustered.Summary.Jobs, base.Summary.Jobs)
+	}
+	// Total executed work is preserved by clustering.
+	relDiff := (clustered.Summary.CumulativeKickstart - base.Summary.CumulativeKickstart) /
+		base.Summary.CumulativeKickstart
+	if relDiff < -0.15 || relDiff > 0.15 {
+		t.Errorf("clustering changed cumulative kickstart by %.1f%%", 100*relDiff)
+	}
+}
+
+func TestVariantSkewChangesPlateau(t *testing.T) {
+	e := DefaultExperiment(canonicalSeed)
+	flat, err := e.RunVariant("sandhills", 300, Variant{SizeExponent: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := e.RunVariant("sandhills", 300, Variant{SizeExponent: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flatter rank-size law means much more total work, so the n=300
+	// wall time rises well above the paper workload's plateau.
+	if flat.WallTime() <= 1.5*paper.WallTime() {
+		t.Errorf("flat-skew wall %v not well above paper workload %v",
+			flat.WallTime(), paper.WallTime())
+	}
+}
+
+func TestCloudPlatformFutureWork(t *testing.T) {
+	e := DefaultExperiment(canonicalSeed)
+	cloud, err := e.RunWorkflow("cloud", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cloud.Result.Success {
+		t.Fatal("cloud run failed")
+	}
+	sand, err := e.RunWorkflow("sandhills", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osg, err := e.RunWorkflow("osg", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cloud has no install step and no preemption, so it beats OSG;
+	// provisioning latency and the virtualization tax keep it near (and
+	// here above) the dedicated campus allocation.
+	if cloud.WallTime() >= osg.WallTime() {
+		t.Errorf("cloud (%v) not below OSG (%v)", cloud.WallTime(), osg.WallTime())
+	}
+	if cloud.Result.Evictions != 0 {
+		t.Errorf("cloud evictions = %d", cloud.Result.Evictions)
+	}
+	for _, row := range cloud.PerTask {
+		if row.MeanSetup != 0 {
+			t.Errorf("cloud install time for %s = %v", row.Transformation, row.MeanSetup)
+		}
+	}
+	_ = sand
+}
+
+func TestVariantUnknownPlatform(t *testing.T) {
+	e := DefaultExperiment(1)
+	if _, err := e.RunVariant("mainframe", 10, Variant{}); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package core is the high-level facade of pegflow: it wires workload,
+// workflow construction, planning, platform simulation and statistics into
+// the paper's experiments (build → plan → run → statistics), so that one
+// call reproduces one bar of Fig. 4 or one panel of Fig. 5.
+package core
+
+import (
+	"fmt"
+
+	"pegflow/internal/engine"
+	"pegflow/internal/planner"
+	"pegflow/internal/sim/platform"
+	"pegflow/internal/stats"
+	"pegflow/internal/workflow"
+)
+
+// PaperNValues are the cluster counts evaluated in the paper.
+var PaperNValues = []int{10, 100, 300, 500}
+
+// Platforms are the two execution platforms compared in the paper.
+var Platforms = []string{"sandhills", "osg"}
+
+// ExtendedPlatforms adds the cloud platform of the paper's future work
+// (§VII) to the comparison grid.
+var ExtendedPlatforms = []string{"sandhills", "osg", "cloud"}
+
+// Experiment configures a reproduction run.
+type Experiment struct {
+	// Seed drives every stochastic component.
+	Seed uint64
+	// SandhillsSlots is the campus-cluster allocation the workflow got
+	// ("the resources allocated from Sandhills", §VI.A). The paper's
+	// optimum at n=300 reflects an allocation of roughly that size.
+	SandhillsSlots int
+	// OSGSlots is the opportunistic pool size (OSG offers more
+	// resources than the campus allocation).
+	OSGSlots int
+	// RetryLimit is the DAGMan retry budget per job.
+	RetryLimit int
+	// Workload is the dataset; defaults to the paper-scale synthetic
+	// Triticum urartu workload.
+	Workload workflow.Workload
+	// Cost is the calibrated cost model.
+	Cost workflow.CostModel
+}
+
+// DefaultExperiment returns the paper-scale configuration.
+func DefaultExperiment(seed uint64) *Experiment {
+	return &Experiment{
+		Seed:           seed,
+		SandhillsSlots: 300,
+		OSGSlots:       600,
+		RetryLimit:     5,
+		Workload:       workflow.PaperWorkload(seed),
+		Cost:           workflow.DefaultCostModel(),
+	}
+}
+
+// RunResult bundles everything one workflow execution produced.
+type RunResult struct {
+	// Platform is "sandhills", "osg", or "serial".
+	Platform string
+	// N is the cluster count (0 for the serial baseline).
+	N int
+	// Result is the engine outcome (log, makespan, retries).
+	Result *engine.Result
+	// Summary is the workflow-level statistics block.
+	Summary stats.Summary
+	// PerTask is the per-transformation breakdown (Fig. 5 panel rows).
+	PerTask []stats.TaskStats
+}
+
+// WallTime returns the workflow wall time in seconds.
+func (r *RunResult) WallTime() float64 { return r.Summary.WallTime }
+
+func (e *Experiment) platformConfig(name string) (platform.Config, int, error) {
+	switch name {
+	case "sandhills":
+		cfg := platform.Sandhills(e.Seed)
+		cfg.Slots = e.SandhillsSlots
+		return cfg, e.SandhillsSlots, nil
+	case "osg":
+		cfg := platform.OSG(e.Seed)
+		cfg.Slots = e.OSGSlots
+		return cfg, e.OSGSlots, nil
+	case "cloud":
+		cfg := platform.Cloud(e.Seed)
+		return cfg, cfg.Slots, nil
+	default:
+		return platform.Config{}, 0, fmt.Errorf("core: unknown platform %q", name)
+	}
+}
+
+// RunWorkflow executes the blast2cap3 workflow with n cluster chunks on
+// the named platform and returns its statistics.
+func (e *Experiment) RunWorkflow(platformName string, n int) (*RunResult, error) {
+	cfg, _, err := e.platformConfig(platformName)
+	if err != nil {
+		return nil, err
+	}
+	// Distinguish the RNG streams of different runs.
+	cfg.Seed = e.Seed ^ (uint64(n) * 0x9e3779b97f4a7c15)
+
+	abstract, err := workflow.BuildDAX(workflow.BuilderConfig{
+		N: n, Workload: e.Workload, Cost: e.Cost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cats, err := workflow.PaperCatalogs(e.Workload, e.SandhillsSlots, e.OSGSlots)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planner.New(abstract, cats, planner.Options{Site: platformName})
+	if err != nil {
+		return nil, err
+	}
+	ex, err := platform.NewExecutor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(plan, ex, engine.Options{RetryLimit: e.RetryLimit})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Platform: platformName,
+		N:        n,
+		Result:   res,
+		Summary:  stats.Summarize(res.Log, res.Makespan),
+		PerTask:  stats.PerTransformation(res.Log),
+	}, nil
+}
+
+// RunSerial executes the serial blast2cap3 baseline on a single dedicated
+// Sandhills core (paper §V.B: "the running time was 100 hours").
+func (e *Experiment) RunSerial() (*RunResult, error) {
+	abstract, err := workflow.BuildSerialDAX(e.Workload, e.Cost)
+	if err != nil {
+		return nil, err
+	}
+	cats, err := workflow.PaperCatalogs(e.Workload, e.SandhillsSlots, e.OSGSlots)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := planner.New(abstract, cats, planner.Options{Site: "sandhills"})
+	if err != nil {
+		return nil, err
+	}
+	// A single interactive node: no dispatch noise, one slot.
+	cfg := platform.Config{Name: "sandhills", Slots: 1, SpeedFactor: 1.0, Seed: e.Seed}
+	ex, err := platform.NewExecutor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(plan, ex, engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Platform: "serial",
+		N:        0,
+		Result:   res,
+		Summary:  stats.Summarize(res.Log, res.Makespan),
+		PerTask:  stats.PerTransformation(res.Log),
+	}, nil
+}
+
+// AllResults holds the complete evaluation: the serial baseline plus every
+// (platform, n) combination — the data behind Fig. 4 and Fig. 5.
+type AllResults struct {
+	Serial *RunResult
+	// Runs is indexed by platform name then n.
+	Runs map[string]map[int]*RunResult
+}
+
+// RunAll executes the full evaluation grid.
+func (e *Experiment) RunAll() (*AllResults, error) {
+	serial, err := e.RunSerial()
+	if err != nil {
+		return nil, err
+	}
+	out := &AllResults{Serial: serial, Runs: make(map[string]map[int]*RunResult)}
+	for _, p := range Platforms {
+		out.Runs[p] = make(map[int]*RunResult)
+		for _, n := range PaperNValues {
+			r, err := e.RunWorkflow(p, n)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s n=%d: %w", p, n, err)
+			}
+			out.Runs[p][n] = r
+		}
+	}
+	return out, nil
+}
+
+// BestWorkflowWallTime returns the smallest workflow wall time in the grid.
+func (a *AllResults) BestWorkflowWallTime() float64 {
+	best := -1.0
+	for _, byN := range a.Runs {
+		for _, r := range byN {
+			if best < 0 || r.WallTime() < best {
+				best = r.WallTime()
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,220 @@
+// Package engine implements a DAGMan-style meta-scheduler: it releases the
+// jobs of an executable plan to an Executor in dependency order, throttles
+// in-flight work, retries failed attempts, and produces a rescue workflow
+// for anything left undone — mirroring Condor DAGMan as used by Pegasus.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"pegflow/internal/kickstart"
+	"pegflow/internal/planner"
+)
+
+// EventType classifies executor events.
+type EventType int
+
+const (
+	// EventFinished reports a successful attempt.
+	EventFinished EventType = iota
+	// EventFailed reports an attempt that ran and failed.
+	EventFailed
+	// EventEvicted reports an attempt preempted by the resource owner.
+	EventEvicted
+)
+
+// String returns the event type name.
+func (t EventType) String() string {
+	switch t {
+	case EventFinished:
+		return "finished"
+	case EventFailed:
+		return "failed"
+	case EventEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one terminal executor notification for a job attempt.
+type Event struct {
+	// JobID names the planned job.
+	JobID string
+	// Type is the attempt outcome.
+	Type EventType
+	// Time is the event time in seconds of workflow-relative time.
+	Time float64
+	// Record is the kickstart record of the attempt.
+	Record *kickstart.Record
+}
+
+// Executor runs planned jobs. Submit must not block; Next blocks until an
+// event is available and may only be called while at least one submitted
+// job is unfinished. Now reports workflow-relative time in seconds.
+type Executor interface {
+	Submit(job *planner.Job, attempt int)
+	Next() Event
+	Now() float64
+}
+
+// Options tunes the meta-scheduler.
+type Options struct {
+	// RetryLimit is the number of additional attempts granted to a
+	// failing job (Pegasus-style job retries). 0 disables retries.
+	RetryLimit int
+	// MaxActive caps jobs in flight (DAGMan's maxjobs throttle).
+	// 0 means unlimited.
+	MaxActive int
+}
+
+// Result summarizes one engine run.
+type Result struct {
+	// Success reports whether every job completed.
+	Success bool
+	// Makespan is the workflow wall time in seconds: the time of the
+	// last event (Pegasus's "Workflow Wall Time" starts at first
+	// submission, which the engine performs at time zero).
+	Makespan float64
+	// Log holds the kickstart record of every attempt.
+	Log *kickstart.Log
+	// Completed and Unfinished partition the plan's job IDs.
+	Completed, Unfinished []string
+	// PermanentlyFailed lists jobs that exhausted their retries.
+	PermanentlyFailed []string
+	// Retries counts re-submissions.
+	Retries int
+	// Evictions counts attempts ended by preemption.
+	Evictions int
+}
+
+// RescueWorkflow returns the IDs that a rescue DAG would contain: all jobs
+// not completed, in a deterministic order.
+func (r *Result) RescueWorkflow() []string {
+	out := append([]string(nil), r.Unfinished...)
+	sort.Strings(out)
+	return out
+}
+
+// readyQueue orders ready jobs by priority (higher first), breaking ties
+// by submission sequence (FIFO).
+type readyQueue struct {
+	items []*readyItem
+}
+
+type readyItem struct {
+	job *planner.Job
+	seq int
+}
+
+func (q readyQueue) Len() int { return len(q.items) }
+func (q readyQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority > b.job.Priority
+	}
+	return a.seq < b.seq
+}
+func (q readyQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *readyQueue) Push(x any)   { q.items = append(q.items, x.(*readyItem)) }
+func (q *readyQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// Run executes the plan on the executor.
+func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
+	order, err := plan.Graph.TopoSort()
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+
+	indeg := make(map[string]int, len(order))
+	for _, id := range order {
+		indeg[id] = len(plan.Graph.Parents(id))
+	}
+
+	res := &Result{Log: &kickstart.Log{}}
+	ready := &readyQueue{}
+	seq := 0
+	pushReady := func(id string) {
+		heap.Push(ready, &readyItem{job: plan.Job(id), seq: seq})
+		seq++
+	}
+	for _, id := range order {
+		if indeg[id] == 0 {
+			pushReady(id)
+		}
+	}
+
+	attempts := make(map[string]int, len(order))
+	done := make(map[string]bool, len(order))
+	failed := make(map[string]bool)
+	inflight := 0
+
+	submit := func() {
+		for ready.Len() > 0 && (opts.MaxActive == 0 || inflight < opts.MaxActive) {
+			it := heap.Pop(ready).(*readyItem)
+			attempts[it.job.ID]++
+			ex.Submit(it.job, attempts[it.job.ID])
+			inflight++
+		}
+	}
+
+	submit()
+	for inflight > 0 {
+		ev := ex.Next()
+		inflight--
+		if ev.Record != nil {
+			if err := res.Log.Append(ev.Record); err != nil {
+				return nil, fmt.Errorf("engine: job %q: %w", ev.JobID, err)
+			}
+		}
+		if ev.Time > res.Makespan {
+			res.Makespan = ev.Time
+		}
+		switch ev.Type {
+		case EventFinished:
+			done[ev.JobID] = true
+			for _, child := range plan.Graph.Children(ev.JobID) {
+				indeg[child]--
+				if indeg[child] == 0 {
+					pushReady(child)
+				}
+			}
+		case EventFailed, EventEvicted:
+			if ev.Type == EventEvicted {
+				res.Evictions++
+			}
+			if attempts[ev.JobID] <= opts.RetryLimit {
+				// Resubmit; the attempt counter increments on submit.
+				res.Retries++
+				heap.Push(ready, &readyItem{job: plan.Job(ev.JobID), seq: seq})
+				seq++
+			} else {
+				failed[ev.JobID] = true
+				res.PermanentlyFailed = append(res.PermanentlyFailed, ev.JobID)
+			}
+		default:
+			return nil, fmt.Errorf("engine: unknown event type %v for job %q", ev.Type, ev.JobID)
+		}
+		submit()
+	}
+
+	for _, id := range order {
+		if done[id] {
+			res.Completed = append(res.Completed, id)
+		} else {
+			res.Unfinished = append(res.Unfinished, id)
+		}
+	}
+	res.Success = len(res.Unfinished) == 0
+	sort.Strings(res.PermanentlyFailed)
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pegflow/internal/kickstart"
+	"pegflow/internal/planner"
+)
+
+// TaskContext is what a transformation implementation receives when a job
+// runs locally.
+type TaskContext struct {
+	// Job is the planned job being executed.
+	Job *planner.Job
+	// WorkDir is the directory holding the workflow's files.
+	WorkDir string
+	// Args are the job's command-line arguments.
+	Args []string
+}
+
+// TransformationFunc is the local implementation of a logical
+// transformation.
+type TransformationFunc func(ctx *TaskContext) error
+
+// Registry maps logical transformation names to local implementations.
+type Registry map[string]TransformationFunc
+
+// LocalExecutor runs planned jobs as real Go functions with bounded
+// parallelism — the "real mode" of the system: examples and tests execute
+// actual CAP3/BLAST work through it.
+type LocalExecutor struct {
+	registry Registry
+	workDir  string
+	sem      chan struct{}
+	events   chan Event
+	start    time.Time
+	mu       sync.Mutex
+}
+
+// NewLocalExecutor builds an executor with the given transformation
+// registry, working directory and parallelism (≤0 means 1).
+func NewLocalExecutor(reg Registry, workDir string, parallelism int) *LocalExecutor {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	return &LocalExecutor{
+		registry: reg,
+		workDir:  workDir,
+		sem:      make(chan struct{}, parallelism),
+		events:   make(chan Event, 64),
+		start:    time.Now(),
+	}
+}
+
+// Now returns seconds since the executor was created.
+func (e *LocalExecutor) Now() float64 { return time.Since(e.start).Seconds() }
+
+// Submit schedules the job on the worker pool. Unknown transformations
+// fail the attempt rather than erroring the submission, mirroring how a
+// batch system reports a missing executable as a job failure.
+func (e *LocalExecutor) Submit(job *planner.Job, attempt int) {
+	submitTime := e.Now()
+	go func() {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		setupStart := e.Now()
+
+		rec := &kickstart.Record{
+			JobID:          job.ID,
+			Transformation: job.Transformation,
+			Site:           job.Site,
+			Node:           "local",
+			Attempt:        attempt,
+			SubmitTime:     submitTime,
+			SetupStart:     setupStart,
+		}
+		fn, ok := e.registry[job.Transformation]
+		rec.ExecStart = e.Now()
+		var err error
+		if !ok {
+			err = fmt.Errorf("local: transformation %q not registered", job.Transformation)
+		} else {
+			err = e.run(fn, job)
+		}
+		rec.EndTime = e.Now()
+		ev := Event{JobID: job.ID, Time: rec.EndTime, Record: rec}
+		if err != nil {
+			rec.Status = kickstart.StatusFailed
+			rec.ExitMessage = err.Error()
+			ev.Type = EventFailed
+		} else {
+			rec.Status = kickstart.StatusSuccess
+			ev.Type = EventFinished
+		}
+		e.events <- ev
+	}()
+}
+
+// run invokes the transformation, converting panics into job failures so a
+// buggy task cannot take down the meta-scheduler.
+func (e *LocalExecutor) run(fn TransformationFunc, job *planner.Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("local: transformation %q panicked: %v", job.Transformation, r)
+		}
+	}()
+	return fn(&TaskContext{Job: job, WorkDir: e.workDir, Args: job.Args})
+}
+
+// Next blocks until a job attempt finishes.
+func (e *LocalExecutor) Next() Event { return <-e.events }
+
+var _ Executor = (*LocalExecutor)(nil)

@@ -1,0 +1,176 @@
+// Package kickstart defines per-invocation provenance records, mirroring
+// the role of pegasus-kickstart: every job attempt produces a Record with
+// the timing phases the paper's evaluation is built from.
+//
+// Phases of one attempt (all in seconds of workflow-relative time):
+//
+//	submit ──waiting──▶ setup start ──setup──▶ exec start ──exec──▶ end
+//
+// "Waiting Time" (paper §VI.B) is the time between submission and the
+// moment the job begins doing anything on a node: queueing on the submit
+// host plus queueing on the remote host. "Download/Install Time" is the
+// setup phase (only non-zero on sites without preinstalled software).
+// "Kickstart Time" is the actual execution duration on the node.
+package kickstart
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Status is the terminal state of one job attempt.
+type Status int
+
+const (
+	// StatusSuccess marks a completed attempt.
+	StatusSuccess Status = iota
+	// StatusFailed marks an attempt that ran and exited with an error.
+	StatusFailed
+	// StatusEvicted marks an attempt preempted by the resource owner
+	// (the OSG failure mode described in the paper).
+	StatusEvicted
+)
+
+// String returns the lower-case status name.
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "success"
+	case StatusFailed:
+		return "failed"
+	case StatusEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Record is the provenance of one job attempt.
+type Record struct {
+	// JobID is the executable-workflow job ID.
+	JobID string `json:"job_id"`
+	// Transformation is the logical executable name.
+	Transformation string `json:"transformation"`
+	// Site and Node locate the attempt.
+	Site string `json:"site"`
+	Node string `json:"node,omitempty"`
+	// Attempt numbers retries from 1.
+	Attempt int `json:"attempt"`
+	// SubmitTime is when the meta-scheduler released the job.
+	SubmitTime float64 `json:"submit_time"`
+	// SetupStart is when the node began working on the job (end of the
+	// waiting phase).
+	SetupStart float64 `json:"setup_start"`
+	// ExecStart is when the payload began executing (end of setup).
+	ExecStart float64 `json:"exec_start"`
+	// EndTime is when the attempt finished (successfully or not).
+	EndTime float64 `json:"end_time"`
+	// Status is the terminal state.
+	Status Status `json:"status"`
+	// ExitMessage carries failure detail for non-success attempts.
+	ExitMessage string `json:"exit_message,omitempty"`
+}
+
+// Waiting returns the paper's "Waiting Time" statistic for this attempt.
+func (r *Record) Waiting() float64 { return r.SetupStart - r.SubmitTime }
+
+// Setup returns the paper's "Download/Install Time" statistic.
+func (r *Record) Setup() float64 { return r.ExecStart - r.SetupStart }
+
+// Exec returns the paper's "Kickstart Time" statistic (actual duration on
+// the remote node).
+func (r *Record) Exec() float64 { return r.EndTime - r.ExecStart }
+
+// Total returns submit-to-end time for the attempt.
+func (r *Record) Total() float64 { return r.EndTime - r.SubmitTime }
+
+// Validate checks that the phase timestamps are ordered.
+func (r *Record) Validate() error {
+	if r.JobID == "" {
+		return fmt.Errorf("kickstart: record with empty job ID")
+	}
+	if r.SetupStart < r.SubmitTime {
+		return fmt.Errorf("kickstart: %s attempt %d: setup start %.3f before submit %.3f",
+			r.JobID, r.Attempt, r.SetupStart, r.SubmitTime)
+	}
+	if r.ExecStart < r.SetupStart {
+		return fmt.Errorf("kickstart: %s attempt %d: exec start %.3f before setup start %.3f",
+			r.JobID, r.Attempt, r.ExecStart, r.SetupStart)
+	}
+	if r.EndTime < r.ExecStart {
+		return fmt.Errorf("kickstart: %s attempt %d: end %.3f before exec start %.3f",
+			r.JobID, r.Attempt, r.EndTime, r.ExecStart)
+	}
+	return nil
+}
+
+// Log is an append-only collection of attempt records for one workflow run.
+type Log struct {
+	records []*Record
+}
+
+// Append adds a record after validating it.
+func (l *Log) Append(r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	l.records = append(l.records, r)
+	return nil
+}
+
+// Records returns all records in append order.
+func (l *Log) Records() []*Record { return l.records }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Successes returns only the records of successful attempts.
+func (l *Log) Successes() []*Record {
+	var out []*Record
+	for _, r := range l.records {
+		if r.Status == StatusSuccess {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Failures returns only the records of unsuccessful attempts.
+func (l *Log) Failures() []*Record {
+	var out []*Record
+	for _, r := range l.records {
+		if r.Status != StatusSuccess {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteJSON streams the log as JSON lines, one record per line.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range l.records {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSON parses a JSON-lines log.
+func ReadJSON(r io.Reader) (*Log, error) {
+	dec := json.NewDecoder(r)
+	l := &Log{}
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return l, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("kickstart: parsing log: %w", err)
+		}
+		if err := l.Append(&rec); err != nil {
+			return nil, err
+		}
+	}
+}

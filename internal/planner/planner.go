@@ -1,0 +1,440 @@
+// Package planner maps an abstract workflow (package dax) plus catalogs
+// (package catalog) onto an executable plan for one concrete site — the
+// role of pegasus-plan.
+//
+// Planning performs, in order:
+//
+//  1. validation of the abstract workflow;
+//  2. site and transformation resolution — every logical transformation
+//     must be registered at the target site;
+//  3. install-step injection — at sites without a shared software stack
+//     (the OSG case in the paper, Fig. 3), jobs whose transformation is
+//     not preinstalled gain a download/install setup phase;
+//  4. optional stage-in job synthesis for external input files;
+//  5. optional horizontal task clustering — small jobs of the same
+//     transformation at the same DAG level are merged into clustered jobs
+//     executed on one slot, reducing per-job overhead (Pegasus's task
+//     clustering, paper §III).
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"pegflow/internal/catalog"
+	"pegflow/internal/dax"
+)
+
+// Job is one executable job in a plan.
+type Job struct {
+	// ID identifies the executable job (equal to the abstract job ID
+	// except for synthesized stage-in and clustered jobs).
+	ID string
+	// Transformation is the logical executable name.
+	Transformation string
+	// Args are the command-line arguments (empty for clustered jobs;
+	// the per-task arguments live in the task list).
+	Args []string
+	// Site is the execution site.
+	Site string
+	// Priority orders ready jobs; higher runs first.
+	Priority int
+	// ExecSeconds is the estimated execution time on a reference-speed
+	// node (from the job's "pegasus::runtime" profile; 0 = unknown).
+	ExecSeconds float64
+	// NeedsInstall marks jobs that must download and install their
+	// software stack on the node before executing (OSG-style sites).
+	NeedsInstall bool
+	// InstallBytes is the size of the software stack to stage when
+	// NeedsInstall is set.
+	InstallBytes int64
+	// InputBytes and OutputBytes total the declared file sizes.
+	InputBytes, OutputBytes int64
+	// Tasks lists the abstract job IDs folded into this executable job
+	// (len > 1 only for clustered jobs; empty for synthesized jobs).
+	Tasks []string
+}
+
+// Plan is an executable workflow bound to a site.
+type Plan struct {
+	// Graph holds the executable jobs and their dependencies. Its Job
+	// entries are structural only; per-job planning attributes live in
+	// Info.
+	Graph *dax.Workflow
+	// Info maps executable job ID to its planning attributes.
+	Info map[string]*Job
+	// Site is the execution site name.
+	Site string
+	// SiteEntry is the resolved site catalog entry.
+	SiteEntry *catalog.Site
+}
+
+// Jobs returns the plan's jobs in insertion order.
+func (p *Plan) Jobs() []*Job {
+	out := make([]*Job, 0, len(p.Info))
+	for _, j := range p.Graph.Jobs() {
+		out = append(out, p.Info[j.ID])
+	}
+	return out
+}
+
+// Job returns the planned job with the given ID, or nil.
+func (p *Plan) Job(id string) *Job { return p.Info[id] }
+
+// TotalExecSeconds sums the estimated execution time over all jobs — the
+// serial-work content of the plan.
+func (p *Plan) TotalExecSeconds() float64 {
+	var sum float64
+	for _, j := range p.Info {
+		sum += j.ExecSeconds
+	}
+	return sum
+}
+
+// Options configures planning.
+type Options struct {
+	// Site is the target execution site (required).
+	Site string
+	// AddStageIn synthesizes a stage-in job for external inputs that
+	// have replicas registered away from the site.
+	AddStageIn bool
+	// ClusterSize is the horizontal clustering factor: the maximum
+	// number of same-transformation, same-level tasks merged into one
+	// clustered job. 0 or 1 disables clustering.
+	ClusterSize int
+	// ClusterTransformations restricts clustering to the listed
+	// transformations; empty means all are eligible.
+	ClusterTransformations []string
+}
+
+// Catalogs bundles the three catalogs planning consults.
+type Catalogs struct {
+	Sites           *catalog.SiteCatalog
+	Transformations *catalog.TransformationCatalog
+	Replicas        *catalog.ReplicaCatalog
+}
+
+// StageInTransformation names the synthesized data staging transformation.
+const StageInTransformation = "stage_in"
+
+// New maps the abstract workflow onto the target site.
+func New(abstract *dax.Workflow, cats Catalogs, opts Options) (*Plan, error) {
+	if err := abstract.Validate(); err != nil {
+		return nil, fmt.Errorf("planner: invalid abstract workflow: %w", err)
+	}
+	if opts.Site == "" {
+		return nil, fmt.Errorf("planner: no target site given")
+	}
+	site, err := cats.Sites.Lookup(opts.Site)
+	if err != nil {
+		return nil, fmt.Errorf("planner: %w", err)
+	}
+
+	work := abstract
+	if opts.ClusterSize > 1 {
+		work, err = clusterTasks(abstract, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	plan := &Plan{
+		Graph:     dax.New(work.Name + "-" + opts.Site),
+		Info:      make(map[string]*Job),
+		Site:      opts.Site,
+		SiteEntry: site,
+	}
+
+	// Resolve each job against the transformation catalog and compute
+	// its planning attributes.
+	for _, aj := range work.Jobs() {
+		tc, err := cats.Transformations.Lookup(aj.Transformation, opts.Site)
+		if err != nil {
+			return nil, fmt.Errorf("planner: job %q: %w", aj.ID, err)
+		}
+		pj := &Job{
+			ID:             aj.ID,
+			Transformation: aj.Transformation,
+			Args:           aj.Args,
+			Site:           opts.Site,
+			Priority:       aj.Priority,
+		}
+		if rt := aj.Profile("pegasus", "runtime"); rt != "" {
+			v, err := strconv.ParseFloat(rt, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("planner: job %q: bad pegasus::runtime %q", aj.ID, rt)
+			}
+			pj.ExecSeconds = v
+		}
+		if nt := aj.Profile("pegasus", "clustered_tasks"); nt != "" {
+			count, err := strconv.Atoi(nt)
+			if err != nil || count < 1 {
+				return nil, fmt.Errorf("planner: job %q: bad clustered_tasks %q", aj.ID, nt)
+			}
+			for i := 0; i < count; i++ {
+				tid := aj.Profile("pegasus", fmt.Sprintf("task_%03d", i))
+				if tid == "" {
+					return nil, fmt.Errorf("planner: job %q: missing task_%03d profile", aj.ID, i)
+				}
+				pj.Tasks = append(pj.Tasks, tid)
+			}
+		}
+		if !tc.Installed {
+			if site.SharedSoftware {
+				return nil, fmt.Errorf(
+					"planner: transformation %q not installed at shared-software site %q",
+					aj.Transformation, opts.Site)
+			}
+			pj.NeedsInstall = true
+			pj.InstallBytes = tc.InstallBytes
+		}
+		for _, u := range aj.Uses {
+			if u.Link == dax.LinkInput {
+				pj.InputBytes += u.Size
+			} else {
+				pj.OutputBytes += u.Size
+			}
+		}
+		gj := &dax.Job{ID: aj.ID, Transformation: aj.Transformation, Uses: aj.Uses, Priority: aj.Priority}
+		if err := plan.Graph.AddJob(gj); err != nil {
+			return nil, err
+		}
+		plan.Info[aj.ID] = pj
+	}
+	for _, aj := range work.Jobs() {
+		for _, parent := range work.Parents(aj.ID) {
+			if err := plan.Graph.AddDependency(parent, aj.ID); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if opts.AddStageIn {
+		if err := addStageIn(plan, work, cats); err != nil {
+			return nil, err
+		}
+	}
+
+	if _, err := plan.Graph.TopoSort(); err != nil {
+		return nil, fmt.Errorf("planner: executable workflow broken: %w", err)
+	}
+	return plan, nil
+}
+
+// addStageIn synthesizes a single stage_in job transferring every external
+// input (a file consumed but produced by no job) to the site, and makes it
+// a parent of all consumers. External inputs must have a registered
+// replica.
+func addStageIn(plan *Plan, work *dax.Workflow, cats Catalogs) error {
+	produced := make(map[string]bool)
+	for _, j := range work.Jobs() {
+		for _, lfn := range j.Outputs() {
+			produced[lfn] = true
+		}
+	}
+	type ext struct {
+		lfn  string
+		size int64
+	}
+	var externals []ext
+	consumers := make(map[string][]string)
+	seen := make(map[string]bool)
+	for _, j := range work.Jobs() {
+		for _, u := range j.Uses {
+			if u.Link != dax.LinkInput || produced[u.LFN] {
+				continue
+			}
+			if !cats.Replicas.Has(u.LFN) {
+				return fmt.Errorf("planner: external input %q of job %q has no replica", u.LFN, j.ID)
+			}
+			consumers[u.LFN] = append(consumers[u.LFN], j.ID)
+			if !seen[u.LFN] {
+				seen[u.LFN] = true
+				externals = append(externals, ext{u.LFN, u.Size})
+			}
+		}
+	}
+	if len(externals) == 0 {
+		return nil
+	}
+	sort.Slice(externals, func(i, j int) bool { return externals[i].lfn < externals[j].lfn })
+
+	id := "stage_in_0"
+	gj := &dax.Job{ID: id, Transformation: StageInTransformation}
+	var totalBytes int64
+	for _, e := range externals {
+		gj.Uses = append(gj.Uses, dax.Use{LFN: e.lfn, Link: dax.LinkOutput, Size: e.size})
+		totalBytes += e.size
+	}
+	if err := plan.Graph.AddJob(gj); err != nil {
+		return err
+	}
+	mbps := plan.SiteEntry.StageInMBps
+	if mbps <= 0 {
+		mbps = 100
+	}
+	plan.Info[id] = &Job{
+		ID:             id,
+		Transformation: StageInTransformation,
+		Site:           plan.Site,
+		ExecSeconds:    float64(totalBytes) / (mbps * 1e6),
+		OutputBytes:    totalBytes,
+		// Stage-in runs on the submit side; it never needs installs
+		// and gets top priority so transfers start immediately.
+		Priority: 1 << 20,
+	}
+	added := make(map[string]bool)
+	for _, e := range externals {
+		for _, c := range consumers[e.lfn] {
+			if added[c] {
+				continue
+			}
+			added[c] = true
+			if err := plan.Graph.AddDependency(id, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// clusterTasks merges same-transformation jobs at the same DAG level into
+// clustered jobs of at most opts.ClusterSize tasks each, returning a new
+// abstract workflow. A clustered job:
+//
+//   - has ID "cluster_<transformation>_l<level>_<index>";
+//   - sums its tasks' pegasus::runtime estimates (tasks run sequentially
+//     on one slot);
+//   - takes the union of its tasks' file usages and dependencies.
+func clusterTasks(abstract *dax.Workflow, opts Options) (*dax.Workflow, error) {
+	eligible := func(tr string) bool {
+		if len(opts.ClusterTransformations) == 0 {
+			return true
+		}
+		for _, t := range opts.ClusterTransformations {
+			if t == tr {
+				return true
+			}
+		}
+		return false
+	}
+
+	levels, err := abstract.Levels()
+	if err != nil {
+		return nil, err
+	}
+	// group[jobID] = clustered ID (or its own ID when unclustered).
+	group := make(map[string]string, abstract.Len())
+	type bucket struct {
+		id    string
+		tasks []string
+	}
+	var buckets []bucket
+	for li, level := range levels {
+		byTr := make(map[string][]string)
+		var trOrder []string
+		for _, id := range level {
+			tr := abstract.Job(id).Transformation
+			if !eligible(tr) || opts.ClusterSize <= 1 {
+				group[id] = id
+				continue
+			}
+			if _, ok := byTr[tr]; !ok {
+				trOrder = append(trOrder, tr)
+			}
+			byTr[tr] = append(byTr[tr], id)
+		}
+		for _, tr := range trOrder {
+			ids := byTr[tr]
+			if len(ids) == 1 {
+				group[ids[0]] = ids[0]
+				continue
+			}
+			for i := 0; i < len(ids); i += opts.ClusterSize {
+				end := i + opts.ClusterSize
+				if end > len(ids) {
+					end = len(ids)
+				}
+				chunk := ids[i:end]
+				if len(chunk) == 1 {
+					group[chunk[0]] = chunk[0]
+					continue
+				}
+				cid := fmt.Sprintf("cluster_%s_l%d_%d", tr, li, i/opts.ClusterSize)
+				for _, id := range chunk {
+					group[id] = cid
+				}
+				buckets = append(buckets, bucket{id: cid, tasks: chunk})
+			}
+		}
+	}
+
+	clustered := make(map[string]bucket)
+	for _, b := range buckets {
+		clustered[b.id] = b
+	}
+
+	out := dax.New(abstract.Name)
+	emitted := make(map[string]bool)
+	for _, aj := range abstract.Jobs() {
+		gid := group[aj.ID]
+		if emitted[gid] {
+			continue
+		}
+		emitted[gid] = true
+		if gid == aj.ID {
+			cp := *aj
+			if err := out.AddJob(&cp); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		b := clustered[gid]
+		nj := &dax.Job{ID: gid, Transformation: aj.Transformation}
+		var runtime float64
+		for _, tid := range b.tasks {
+			task := abstract.Job(tid)
+			nj.Uses = append(nj.Uses, task.Uses...)
+			if rt := task.Profile("pegasus", "runtime"); rt != "" {
+				v, err := strconv.ParseFloat(rt, 64)
+				if err != nil {
+					return nil, fmt.Errorf("planner: task %q: bad runtime %q", tid, rt)
+				}
+				runtime += v
+			}
+			if task.Priority > nj.Priority {
+				nj.Priority = task.Priority
+			}
+		}
+		if runtime > 0 {
+			nj.SetProfile("pegasus", "runtime", strconv.FormatFloat(runtime, 'f', -1, 64))
+		}
+		nj.SetProfile("pegasus", "clustered_tasks", strconv.Itoa(len(b.tasks)))
+		if err := out.AddJob(nj); err != nil {
+			return nil, err
+		}
+	}
+	// Rewire dependencies through the grouping map, skipping intra-group
+	// edges.
+	for _, aj := range abstract.Jobs() {
+		for _, p := range abstract.Parents(aj.ID) {
+			gp, gc := group[p], group[aj.ID]
+			if gp == gc {
+				continue
+			}
+			if err := out.AddDependency(gp, gc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Stash task membership in profiles so New can recover it without a
+	// side channel between the two passes.
+	for _, b := range buckets {
+		j := out.Job(b.id)
+		for i, tid := range b.tasks {
+			j.SetProfile("pegasus", fmt.Sprintf("task_%03d", i), tid)
+		}
+	}
+	return out, nil
+}

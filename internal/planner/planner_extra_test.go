@@ -1,0 +1,155 @@
+package planner
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pegflow/internal/catalog"
+	"pegflow/internal/dax"
+)
+
+func TestStageInCombinesWithClustering(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	if err := cats.Replicas.Add("alignments.out", catalog.Replica{Site: "local", PFN: "/d/a"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(fanWorkflow(t, 9), cats, Options{
+		Site:                   "osg",
+		AddStageIn:             true,
+		ClusterSize:            3,
+		ClusterTransformations: []string{"run_cap3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 cap3 → 3 clustered + split + merge + stage_in = 6.
+	if p.Graph.Len() != 6 {
+		t.Fatalf("plan jobs = %d: %v", p.Graph.Len(), ids(p))
+	}
+	si := p.Job("stage_in_0")
+	if si == nil {
+		t.Fatal("stage_in missing")
+	}
+	// stage_in feeds split only (the sole consumer of alignments.out).
+	if kids := p.Graph.Children("stage_in_0"); len(kids) != 1 || kids[0] != "split" {
+		t.Errorf("stage_in children = %v", kids)
+	}
+	if _, err := p.Graph.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageInJobHasTopPriority(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	if err := cats.Replicas.Add("alignments.out", catalog.Replica{Site: "local", PFN: "/d/a"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(fanWorkflow(t, 2), cats, Options{Site: "sandhills", AddStageIn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := p.Job("stage_in_0")
+	for _, j := range p.Jobs() {
+		if j.ID != si.ID && j.Priority >= si.Priority {
+			t.Errorf("job %s priority %d ≥ stage_in %d", j.ID, j.Priority, si.Priority)
+		}
+	}
+}
+
+func TestClusteredJobInheritsMaxPriority(t *testing.T) {
+	cats := testCatalogs(t, "work")
+	w := dax.New("prio")
+	for i := 0; i < 4; i++ {
+		j := w.NewJob(fmt.Sprintf("J%d", i), "work")
+		j.Priority = i * 10
+		j.SetProfile("pegasus", "runtime", "5")
+	}
+	p, err := New(w, cats, Options{Site: "sandhills", ClusterSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.Len() != 1 {
+		t.Fatalf("jobs = %d", p.Graph.Len())
+	}
+	only := p.Jobs()[0]
+	if only.Priority != 30 {
+		t.Errorf("clustered priority = %d, want max 30", only.Priority)
+	}
+	if len(only.Tasks) != 4 || only.ExecSeconds != 20 {
+		t.Errorf("tasks = %v exec = %v", only.Tasks, only.ExecSeconds)
+	}
+}
+
+func TestInputOutputByteTotals(t *testing.T) {
+	cats := testCatalogs(t, "t")
+	w := dax.New("io")
+	w.NewJob("a", "t").AddInput("x", 100).AddInput("y", 50).AddOutput("z", 25)
+	p, err := New(w, cats, Options{Site: "sandhills"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := p.Job("a")
+	if j.InputBytes != 150 || j.OutputBytes != 25 {
+		t.Errorf("bytes = %d/%d", j.InputBytes, j.OutputBytes)
+	}
+}
+
+// Property: for any fan width and cluster size, planning preserves total
+// estimated work and yields an acyclic executable graph whose cap3 task
+// count sums to the original width.
+func TestPropertyClusteringInvariants(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	f := func(widthRaw, sizeRaw uint8) bool {
+		width := int(widthRaw%40) + 1
+		size := int(sizeRaw%8) + 1
+		w := fanWorkflowQuick(width)
+		p, err := New(w, cats, Options{
+			Site: "sandhills", ClusterSize: size,
+			ClusterTransformations: []string{"run_cap3"},
+		})
+		if err != nil {
+			return false
+		}
+		if _, err := p.Graph.TopoSort(); err != nil {
+			return false
+		}
+		if p.TotalExecSeconds() != 60+float64(width)*100+30 {
+			return false
+		}
+		tasks := 0
+		for _, j := range p.Jobs() {
+			if j.Transformation != "run_cap3" {
+				continue
+			}
+			if len(j.Tasks) > 0 {
+				tasks += len(j.Tasks)
+			} else {
+				tasks++
+			}
+		}
+		return tasks == width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fanWorkflowQuick is fanWorkflow without *testing.T for property use.
+func fanWorkflowQuick(width int) *dax.Workflow {
+	w := dax.New("fan")
+	w.NewJob("split", "split").AddInput("alignments.out", 1000).AddOutput("chunks", 0).
+		SetProfile("pegasus", "runtime", "60")
+	for i := 0; i < width; i++ {
+		id := fmt.Sprintf("run_cap3_%03d", i)
+		w.NewJob(id, "run_cap3").AddInput("chunks", 0).AddOutput(fmt.Sprintf("j%03d", i), 0).
+			SetProfile("pegasus", "runtime", "100")
+		_ = w.AddDependency("split", id)
+	}
+	w.NewJob("merge", "merge").SetProfile("pegasus", "runtime", "30")
+	for i := 0; i < width; i++ {
+		w.Job("merge").AddInput(fmt.Sprintf("j%03d", i), 0)
+		_ = w.AddDependency(fmt.Sprintf("run_cap3_%03d", i), "merge")
+	}
+	return w
+}

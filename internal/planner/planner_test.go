@@ -1,0 +1,320 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pegflow/internal/catalog"
+	"pegflow/internal/dax"
+)
+
+// testCatalogs builds a two-site world resembling the paper's: "sandhills"
+// has everything preinstalled; "osg" has nothing preinstalled.
+func testCatalogs(t *testing.T, transformations ...string) Catalogs {
+	t.Helper()
+	sc := catalog.NewSiteCatalog()
+	for _, s := range []*catalog.Site{
+		{Name: "sandhills", Slots: 50, SpeedFactor: 1.0, SharedSoftware: true, StageInMBps: 100},
+		{Name: "osg", Slots: 200, SpeedFactor: 0.9, Heterogeneous: true, StageInMBps: 20},
+	} {
+		if err := sc.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc := catalog.NewTransformationCatalog()
+	for _, tr := range transformations {
+		if err := tc.Add(&catalog.Transformation{Name: tr, Site: "sandhills", PFN: "/opt/" + tr, Installed: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.Add(&catalog.Transformation{Name: tr, Site: "osg", PFN: tr + ".tar.gz", InstallBytes: 50 << 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Catalogs{Sites: sc, Transformations: tc, Replicas: catalog.NewReplicaCatalog()}
+}
+
+func fanWorkflow(t *testing.T, width int) *dax.Workflow {
+	t.Helper()
+	w := dax.New("fan")
+	w.NewJob("split", "split").AddInput("alignments.out", 1000).AddOutput("chunks", 0).
+		SetProfile("pegasus", "runtime", "60")
+	for i := 0; i < width; i++ {
+		id := fmt.Sprintf("run_cap3_%03d", i)
+		w.NewJob(id, "run_cap3").AddInput("chunks", 0).AddOutput(fmt.Sprintf("joined_%03d", i), 0).
+			SetProfile("pegasus", "runtime", "100")
+		if err := w.AddDependency("split", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.NewJob("merge", "merge").SetProfile("pegasus", "runtime", "30")
+	for i := 0; i < width; i++ {
+		w.Job("merge").AddInput(fmt.Sprintf("joined_%03d", i), 0)
+		if err := w.AddDependency(fmt.Sprintf("run_cap3_%03d", i), "merge"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func TestPlanSandhillsNoInstall(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	p, err := New(fanWorkflow(t, 4), cats, Options{Site: "sandhills"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.Len() != 6 {
+		t.Fatalf("plan has %d jobs, want 6", p.Graph.Len())
+	}
+	for _, j := range p.Jobs() {
+		if j.NeedsInstall {
+			t.Errorf("job %s needs install on sandhills", j.ID)
+		}
+	}
+	if got := p.Job("split").ExecSeconds; got != 60 {
+		t.Errorf("split ExecSeconds = %v, want 60", got)
+	}
+	if got := p.TotalExecSeconds(); got != 60+4*100+30 {
+		t.Errorf("TotalExecSeconds = %v, want 490", got)
+	}
+}
+
+func TestPlanOSGInjectsInstall(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	p, err := New(fanWorkflow(t, 4), cats, Options{Site: "osg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range p.Jobs() {
+		if !j.NeedsInstall {
+			t.Errorf("job %s (%s) lacks install step on osg", j.ID, j.Transformation)
+		}
+		if j.InstallBytes != 50<<20 {
+			t.Errorf("job %s InstallBytes = %d", j.ID, j.InstallBytes)
+		}
+	}
+}
+
+func TestPlanPreservesDependencies(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	p, err := New(fanWorkflow(t, 3), cats, Options{Site: "sandhills"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Graph.Parents("merge"); len(got) != 3 {
+		t.Errorf("Parents(merge) = %v", got)
+	}
+	if got := p.Graph.Children("split"); len(got) != 3 {
+		t.Errorf("Children(split) = %v", got)
+	}
+}
+
+func TestPlanUnknownSiteAndTransformation(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	if _, err := New(fanWorkflow(t, 2), cats, Options{Site: "cloud"}); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if _, err := New(fanWorkflow(t, 2), cats, Options{}); err == nil {
+		t.Error("empty site accepted")
+	}
+	w := dax.New("w")
+	w.NewJob("x", "exotic_tool")
+	if _, err := New(w, cats, Options{Site: "sandhills"}); err == nil {
+		t.Error("unregistered transformation accepted")
+	}
+}
+
+func TestPlanRejectsBadRuntimeProfile(t *testing.T) {
+	cats := testCatalogs(t, "t")
+	w := dax.New("w")
+	w.NewJob("a", "t").SetProfile("pegasus", "runtime", "soon")
+	if _, err := New(w, cats, Options{Site: "sandhills"}); err == nil {
+		t.Error("non-numeric runtime accepted")
+	}
+	w2 := dax.New("w2")
+	w2.NewJob("a", "t").SetProfile("pegasus", "runtime", "-5")
+	if _, err := New(w2, cats, Options{Site: "sandhills"}); err == nil {
+		t.Error("negative runtime accepted")
+	}
+}
+
+func TestPlanNotInstalledAtSharedSoftwareSiteFails(t *testing.T) {
+	sc := catalog.NewSiteCatalog()
+	if err := sc.Add(&catalog.Site{Name: "campus", Slots: 10, SpeedFactor: 1, SharedSoftware: true}); err != nil {
+		t.Fatal(err)
+	}
+	tc := catalog.NewTransformationCatalog()
+	if err := tc.Add(&catalog.Transformation{Name: "t", Site: "campus", Installed: false}); err != nil {
+		t.Fatal(err)
+	}
+	w := dax.New("w")
+	w.NewJob("a", "t")
+	_, err := New(w, Catalogs{Sites: sc, Transformations: tc, Replicas: catalog.NewReplicaCatalog()},
+		Options{Site: "campus"})
+	if err == nil || !strings.Contains(err.Error(), "not installed") {
+		t.Errorf("want not-installed error, got %v", err)
+	}
+}
+
+func TestStageInSynthesis(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	if err := cats.Replicas.Add("alignments.out", catalog.Replica{Site: "local", PFN: "/data/alignments.out"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(fanWorkflow(t, 2), cats, Options{Site: "osg", AddStageIn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := p.Job("stage_in_0")
+	if si == nil {
+		t.Fatal("no stage_in job synthesized")
+	}
+	if si.Transformation != StageInTransformation {
+		t.Errorf("transformation = %q", si.Transformation)
+	}
+	if si.OutputBytes != 1000 {
+		t.Errorf("OutputBytes = %d, want 1000", si.OutputBytes)
+	}
+	// ExecSeconds = bytes / (MBps*1e6) = 1000 / 20e6.
+	if want := 1000.0 / 20e6; si.ExecSeconds != want {
+		t.Errorf("ExecSeconds = %v, want %v", si.ExecSeconds, want)
+	}
+	if parents := p.Graph.Parents("split"); len(parents) != 1 || parents[0] != "stage_in_0" {
+		t.Errorf("Parents(split) = %v, want [stage_in_0]", parents)
+	}
+	// Jobs that don't consume external inputs are not children of stage_in.
+	if parents := p.Graph.Parents("merge"); len(parents) != 2 {
+		t.Errorf("Parents(merge) = %v", parents)
+	}
+}
+
+func TestStageInMissingReplicaFails(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	_, err := New(fanWorkflow(t, 2), cats, Options{Site: "osg", AddStageIn: true})
+	if err == nil || !strings.Contains(err.Error(), "no replica") {
+		t.Errorf("want no-replica error, got %v", err)
+	}
+}
+
+func TestStageInNoExternalInputsNoJob(t *testing.T) {
+	cats := testCatalogs(t, "gen", "use")
+	w := dax.New("w")
+	w.NewJob("g", "gen").AddOutput("data", 5)
+	w.NewJob("u", "use").AddInput("data", 5)
+	if err := w.AddDependency("g", "u"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(w, cats, Options{Site: "osg", AddStageIn: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Job("stage_in_0") != nil {
+		t.Error("stage_in synthesized with no external inputs")
+	}
+}
+
+func TestHorizontalClustering(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	p, err := New(fanWorkflow(t, 10), cats, Options{
+		Site:                   "sandhills",
+		ClusterSize:            4,
+		ClusterTransformations: []string{"run_cap3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 tasks at cluster size 4 → 3 clustered jobs (4+4+2), plus split
+	// and merge = 5 jobs.
+	if p.Graph.Len() != 5 {
+		t.Fatalf("plan has %d jobs, want 5: %v", p.Graph.Len(), ids(p))
+	}
+	var clustered []*Job
+	for _, j := range p.Jobs() {
+		if len(j.Tasks) > 0 {
+			clustered = append(clustered, j)
+		}
+	}
+	if len(clustered) != 3 {
+		t.Fatalf("clustered jobs = %d, want 3", len(clustered))
+	}
+	total := 0
+	var runtime float64
+	for _, c := range clustered {
+		total += len(c.Tasks)
+		runtime += c.ExecSeconds
+		if c.Transformation != "run_cap3" {
+			t.Errorf("clustered job %s transformation = %s", c.ID, c.Transformation)
+		}
+	}
+	if total != 10 {
+		t.Errorf("clustered task count = %d, want 10", total)
+	}
+	if runtime != 1000 {
+		t.Errorf("clustered runtime sum = %v, want 1000", runtime)
+	}
+	// Structure: split → each cluster → merge.
+	for _, c := range clustered {
+		if parents := p.Graph.Parents(c.ID); len(parents) != 1 || parents[0] != "split" {
+			t.Errorf("Parents(%s) = %v", c.ID, parents)
+		}
+	}
+	if parents := p.Graph.Parents("merge"); len(parents) != 3 {
+		t.Errorf("Parents(merge) = %v, want 3 clustered parents", parents)
+	}
+}
+
+func TestClusteringSkipsOtherTransformations(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	p, err := New(fanWorkflow(t, 6), cats, Options{
+		Site:                   "sandhills",
+		ClusterSize:            2,
+		ClusterTransformations: []string{"does_not_exist"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.Len() != 8 {
+		t.Errorf("plan has %d jobs, want 8 (untouched)", p.Graph.Len())
+	}
+}
+
+func TestClusteringDisabledBySize(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	for _, size := range []int{0, 1} {
+		p, err := New(fanWorkflow(t, 6), cats, Options{Site: "sandhills", ClusterSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Graph.Len() != 8 {
+			t.Errorf("ClusterSize=%d: plan has %d jobs, want 8", size, p.Graph.Len())
+		}
+	}
+}
+
+func TestClusteringPreservesTotalWork(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	base, err := New(fanWorkflow(t, 17), cats, Options{Site: "sandhills"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{2, 3, 5, 16, 100} {
+		p, err := New(fanWorkflow(t, 17), cats, Options{Site: "sandhills", ClusterSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.TotalExecSeconds(), base.TotalExecSeconds(); got != want {
+			t.Errorf("ClusterSize=%d: total work %v, want %v", size, got, want)
+		}
+		if _, err := p.Graph.TopoSort(); err != nil {
+			t.Errorf("ClusterSize=%d: %v", size, err)
+		}
+	}
+}
+
+func ids(p *Plan) []string {
+	var out []string
+	for _, j := range p.Graph.Jobs() {
+		out = append(out, j.ID)
+	}
+	return out
+}

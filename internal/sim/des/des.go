@@ -1,0 +1,171 @@
+// Package des implements a minimal discrete-event simulation kernel.
+//
+// A Simulation owns a virtual clock and a priority queue of timed events.
+// Code schedules callbacks at absolute virtual times (or after delays) and
+// the kernel executes them in time order. Ties are broken by scheduling
+// order, which keeps runs deterministic.
+//
+// The kernel is deliberately single-threaded: platform models built on top
+// of it are ordinary sequential Go code, which makes them easy to test and
+// bit-reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time float64
+
+// Seconds returns the time as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it later.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 when not queued
+	fn     func()
+	cancel bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulation is a discrete-event simulator instance.
+type Simulation struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts events executed; useful for tests and loop guards.
+	processed uint64
+}
+
+// New returns a simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulation) Processed() uint64 { return s.processed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a model bug.
+func (s *Simulation) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(float64(t)) {
+		panic("des: scheduling event at NaN time")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds after the current time. Negative
+// delays are clamped to zero.
+func (s *Simulation) After(d float64, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+Time(d), fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e == nil || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+		e.index = -1
+	}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (s *Simulation) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulation) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// Events scheduled exactly at t are executed.
+func (s *Simulation) RunUntil(t Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if !s.stopped && t > s.now {
+		s.now = t
+	}
+}

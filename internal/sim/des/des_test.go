@@ -1,0 +1,209 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(5, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(9, func() { order = append(order, 3) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %d, want %d", i, order[i], want[i])
+		}
+	}
+	if s.Now() != 9 {
+		t.Errorf("clock = %v, want 9s", s.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(3, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events executed out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterAdvancesClock(t *testing.T) {
+	s := New()
+	var at Time
+	s.After(2.5, func() {
+		s.After(1.5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 4 {
+		t.Errorf("nested After fired at %v, want 4s", at)
+	}
+}
+
+func TestAfterNegativeDelayClamped(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(1, func() {
+		s.After(-5, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if s.Now() != 1 {
+		t.Errorf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(3, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	// Double cancel and canceling nil are no-ops.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(5, func() { fired = true })
+	s.At(1, func() { s.Cancel(e) })
+	s.Run()
+	if fired {
+		t.Error("event canceled at t=1 still fired at t=5")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("executed %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", s.Pending())
+	}
+	// Run resumes.
+	s.Run()
+	if count != 10 {
+		t.Errorf("after resume executed %d, want 10", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 7} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+	s.RunUntil(5)
+	if s.Now() != 5 {
+		t.Errorf("clock after empty RunUntil = %v, want 5s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 4 || s.Now() != 7 {
+		t.Errorf("final: fired=%d now=%v", len(fired), s.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	s.At(1, func() {})
+	if !s.Step() {
+		t.Error("Step with one event returned false")
+	}
+	if s.Step() {
+		t.Error("Step after draining returned true")
+	}
+	if s.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1", s.Processed())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			s.At(Time(d), func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := New()
+	e := s.At(4.25, func() {})
+	if e.Time() != 4.25 {
+		t.Errorf("Time() = %v, want 4.25s", e.Time())
+	}
+	if got := e.Time().String(); got != "4.250s" {
+		t.Errorf("String() = %q, want \"4.250s\"", got)
+	}
+}

@@ -1,0 +1,123 @@
+package des
+
+// Resource models a counted resource (e.g. a pool of CPU slots) with a FIFO
+// wait queue. Acquire requests that cannot be satisfied immediately are
+// queued and granted, in order, as units are released.
+type Resource struct {
+	sim      *Simulation
+	capacity int
+	inUse    int
+	waiters  []*acquireReq
+	// Grants counts successful acquisitions, for tests and stats.
+	Grants uint64
+	// MaxInUse tracks the high-water mark of concurrently held units.
+	MaxInUse int
+}
+
+type acquireReq struct {
+	n        int
+	fn       func()
+	canceled bool
+}
+
+// Acquisition is a handle for a pending resource request; Cancel withdraws
+// it if it has not yet been granted.
+type Acquisition struct {
+	r   *Resource
+	req *acquireReq
+}
+
+// Cancel withdraws a pending request. It is a no-op after the grant fired.
+func (a *Acquisition) Cancel() {
+	if a == nil || a.req == nil {
+		return
+	}
+	a.req.canceled = true
+}
+
+// NewResource creates a resource with the given capacity attached to sim.
+func NewResource(sim *Simulation, capacity int) *Resource {
+	if capacity < 0 {
+		panic("des: negative resource capacity")
+	}
+	return &Resource{sim: sim, capacity: capacity}
+}
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Available returns the number of free units.
+func (r *Resource) Available() int { return r.capacity - r.inUse }
+
+// QueueLen returns the number of pending (non-canceled) requests.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, w := range r.waiters {
+		if !w.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// SetCapacity changes the capacity. Growing the pool wakes queued waiters.
+// Shrinking below inUse is allowed: units already held remain held and the
+// pool refuses new grants until enough are released.
+func (r *Resource) SetCapacity(c int) {
+	if c < 0 {
+		panic("des: negative resource capacity")
+	}
+	r.capacity = c
+	r.dispatch()
+}
+
+// Acquire requests n units. fn runs (as a scheduled event at the current
+// time, never synchronously) once the units are granted.
+func (r *Resource) Acquire(n int, fn func()) *Acquisition {
+	if n <= 0 {
+		panic("des: acquire of non-positive unit count")
+	}
+	req := &acquireReq{n: n, fn: fn}
+	r.waiters = append(r.waiters, req)
+	r.dispatch()
+	return &Acquisition{r: r, req: req}
+}
+
+// Release returns n units to the pool, waking queued waiters.
+func (r *Resource) Release(n int) {
+	if n <= 0 {
+		panic("des: release of non-positive unit count")
+	}
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("des: release of units never acquired")
+	}
+	r.dispatch()
+}
+
+// dispatch grants queued requests in FIFO order while units are available.
+// FIFO means a large request at the head blocks smaller ones behind it,
+// like a non-backfilling batch scheduler.
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		head := r.waiters[0]
+		if head.canceled {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.inUse+head.n > r.capacity {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += head.n
+		if r.inUse > r.MaxInUse {
+			r.MaxInUse = r.inUse
+		}
+		r.Grants++
+		fn := head.fn
+		r.sim.After(0, fn)
+	}
+}

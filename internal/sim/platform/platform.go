@@ -1,0 +1,314 @@
+// Package platform provides discrete-event models of the paper's two
+// execution platforms — Sandhills (a campus HPC cluster) and the Open
+// Science Grid — and an engine.Executor that runs planned workflows on
+// them in virtual time.
+//
+// A platform is a slot pool plus four stochastic mechanisms, each of which
+// the paper identifies as a cause of the observed Sandhills/OSG gap:
+//
+//   - per-job dispatch latency (submit-host + remote queueing): small and
+//     steady on the campus cluster, heavy-tailed and uneven on the
+//     opportunistic grid;
+//   - a download/install setup phase for jobs whose software stack is not
+//     preinstalled (planner.Job.NeedsInstall — the red rectangles of the
+//     paper's Fig. 3);
+//   - node speed heterogeneity: grid nodes vary, and some are faster than
+//     campus nodes (the paper's "Kickstart Time" observation);
+//   - preemption: opportunistic slots can be reclaimed by their owners,
+//     ending the attempt with an eviction that DAGMan retries.
+package platform
+
+import (
+	"fmt"
+
+	"pegflow/internal/engine"
+	"pegflow/internal/kickstart"
+	"pegflow/internal/planner"
+	"pegflow/internal/sim/des"
+	"pegflow/internal/sim/rng"
+)
+
+// Config describes one simulated platform.
+type Config struct {
+	// Name labels the platform (used as the site name in records).
+	Name string
+	// Slots is the number of concurrently usable job slots.
+	Slots int
+	// SubmitInterval serializes job submission on the submit host:
+	// the k-th submission is released k*SubmitInterval seconds after
+	// it is handed to the executor (DAGMan/Condor submit throttle).
+	SubmitInterval float64
+	// DispatchMean and DispatchCV parameterize the lognormal per-job
+	// dispatch latency (queueing before a slot request is even made).
+	DispatchMean, DispatchCV float64
+	// SpeedFactor scales execution time (exec = ExecSeconds * factor /
+	// nodeSpeed); 1.0 = reference speed, lower = faster.
+	SpeedFactor float64
+	// SpeedJitter is the relative node heterogeneity: each attempt draws
+	// a node factor uniform in [SpeedFactor*(1-J), SpeedFactor*(1+J)].
+	SpeedJitter float64
+	// SetupMean and SetupCV parameterize the lognormal download+install
+	// duration for jobs with NeedsInstall.
+	SetupMean, SetupCV float64
+	// SetupBytesPerSec adds InstallBytes/SetupBytesPerSec to the setup
+	// phase when positive (bigger software stacks take longer).
+	SetupBytesPerSec float64
+	// EvictionRate is the preemption hazard (events per second of
+	// occupancy). 0 disables preemption.
+	EvictionRate float64
+	// InitialSlots and SlotRampInterval model opportunistic capacity:
+	// the pool starts at InitialSlots and gains one slot every
+	// SlotRampInterval seconds until it reaches Slots (glideins joining
+	// as other VOs release resources). InitialSlots 0 or ≥ Slots, or a
+	// zero interval, disables the ramp (dedicated allocation).
+	InitialSlots     int
+	SlotRampInterval float64
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("platform: config with empty name")
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("platform: %s: non-positive slots %d", c.Name, c.Slots)
+	}
+	if c.SpeedFactor <= 0 {
+		return fmt.Errorf("platform: %s: non-positive speed factor %v", c.Name, c.SpeedFactor)
+	}
+	if c.SpeedJitter < 0 || c.SpeedJitter >= 1 {
+		return fmt.Errorf("platform: %s: speed jitter %v outside [0,1)", c.Name, c.SpeedJitter)
+	}
+	if c.DispatchMean < 0 || c.SetupMean < 0 || c.EvictionRate < 0 || c.SubmitInterval < 0 {
+		return fmt.Errorf("platform: %s: negative rate or mean", c.Name)
+	}
+	if c.InitialSlots < 0 || c.SlotRampInterval < 0 {
+		return fmt.Errorf("platform: %s: negative slot ramp parameters", c.Name)
+	}
+	return nil
+}
+
+// Sandhills returns the campus-cluster model: a fixed allocation of
+// homogeneous slots with preinstalled software, small steady dispatch
+// latency and no preemption — "after these resources are allocated, they
+// are utilized until the tasks terminate" (paper §VI.A).
+func Sandhills(seed uint64) Config {
+	return Config{
+		Name:           "sandhills",
+		Slots:          400,
+		SubmitInterval: 1.0,
+		DispatchMean:   30,
+		DispatchCV:     0.3,
+		SpeedFactor:    1.0,
+		SpeedJitter:    0.05,
+		Seed:           seed,
+	}
+}
+
+// OSG returns the opportunistic-grid model: more slots than the campus
+// allocation, heterogeneous nodes (some faster than Sandhills), uneven
+// heavy-tailed dispatch latency, a download/install phase on every job
+// (nothing preinstalled), and a preemption hazard (paper §VI.A-B).
+func OSG(seed uint64) Config {
+	return Config{
+		Name:             "osg",
+		Slots:            600,
+		SubmitInterval:   1.2,
+		DispatchMean:     700,
+		DispatchCV:       1.1,
+		SpeedFactor:      0.88,
+		SpeedJitter:      0.35,
+		SetupMean:        480,
+		SetupCV:          0.5,
+		SetupBytesPerSec: 25e6,
+		EvictionRate:     5e-6,
+		InitialSlots:     30,
+		SlotRampInterval: 25,
+		Seed:             seed,
+	}
+}
+
+// Cloud returns an academic/commercial IaaS model — the paper's future
+// work (§VII: "Using academic and commercial clouds as an execution
+// platform for the blast2cap3 workflow ... will be challenging, but
+// important and useful further step"). Virtual machines boot from an
+// image that already contains the software stack (no install step), are
+// never preempted, and provision on demand with a short ramp; node speed
+// is slightly below the campus cluster's bare metal (virtualization tax).
+func Cloud(seed uint64) Config {
+	return Config{
+		Name:             "cloud",
+		Slots:            512,
+		SubmitInterval:   1.0,
+		DispatchMean:     95, // VM provisioning / scheduler latency
+		DispatchCV:       0.5,
+		SpeedFactor:      1.08,
+		SpeedJitter:      0.08,
+		InitialSlots:     24,
+		SlotRampInterval: 8,
+		Seed:             seed,
+	}
+}
+
+// Executor runs planned jobs on a simulated platform in virtual time. It
+// implements engine.Executor; the engine's control flow is identical to
+// the real-execution path.
+type Executor struct {
+	cfg   Config
+	sim   *des.Simulation
+	slots *des.Resource
+
+	dispatch *rng.Stream
+	speed    *rng.Stream
+	setup    *rng.Stream
+	evict    *rng.Stream
+
+	pending   []engine.Event
+	submitted int
+	nextFree  float64 // submit-host release time for the next submission
+	nodeSeq   int
+}
+
+// NewExecutor builds an executor for the platform configuration.
+func NewExecutor(cfg Config) (*Executor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := des.New()
+	base := rng.New(cfg.Seed).Derive("platform/" + cfg.Name)
+	startSlots := cfg.Slots
+	ramp := cfg.InitialSlots > 0 && cfg.InitialSlots < cfg.Slots && cfg.SlotRampInterval > 0
+	if ramp {
+		startSlots = cfg.InitialSlots
+	}
+	e := &Executor{
+		cfg:      cfg,
+		sim:      sim,
+		slots:    des.NewResource(sim, startSlots),
+		dispatch: base.Derive("dispatch"),
+		speed:    base.Derive("speed"),
+		setup:    base.Derive("setup"),
+		evict:    base.Derive("evict"),
+	}
+	if ramp {
+		for k := 1; k <= cfg.Slots-cfg.InitialSlots; k++ {
+			target := cfg.InitialSlots + k
+			sim.At(des.Time(float64(k)*cfg.SlotRampInterval), func() {
+				e.slots.SetCapacity(target)
+			})
+		}
+	}
+	return e, nil
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Executor) Now() float64 { return e.sim.Now().Seconds() }
+
+// MaxBusySlots reports the high-water mark of concurrently busy slots.
+func (e *Executor) MaxBusySlots() int { return e.slots.MaxInUse }
+
+// Submit schedules the job attempt onto the platform.
+func (e *Executor) Submit(job *planner.Job, attempt int) {
+	now := e.Now()
+	// Serialize submissions through the submit host.
+	release := now
+	if e.nextFree > release {
+		release = e.nextFree
+	}
+	e.nextFree = release + e.cfg.SubmitInterval
+	e.submitted++
+
+	submitTime := now
+	delay := (release - now) + e.dispatch.LogNormalMeanCV(e.cfg.DispatchMean, e.cfg.DispatchCV)
+	e.sim.After(delay, func() {
+		e.slots.Acquire(1, func() {
+			e.runOnNode(job, attempt, submitTime)
+		})
+	})
+}
+
+// runOnNode executes the setup and payload phases once a slot is granted,
+// racing them against the platform's preemption hazard.
+func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64) {
+	setupStart := e.Now()
+	e.nodeSeq++
+	node := fmt.Sprintf("%s-node-%04d", e.cfg.Name, e.nodeSeq%e.cfg.Slots)
+
+	nodeSpeed := e.cfg.SpeedFactor
+	if e.cfg.SpeedJitter > 0 {
+		nodeSpeed *= e.speed.Uniform(1-e.cfg.SpeedJitter, 1+e.cfg.SpeedJitter)
+	}
+
+	var setupDur float64
+	if job.NeedsInstall {
+		setupDur = e.setup.LogNormalMeanCV(e.cfg.SetupMean, e.cfg.SetupCV)
+		if e.cfg.SetupBytesPerSec > 0 && job.InstallBytes > 0 {
+			setupDur += float64(job.InstallBytes) / e.cfg.SetupBytesPerSec
+		}
+	}
+	execDur := job.ExecSeconds * nodeSpeed
+	total := setupDur + execDur
+
+	rec := &kickstart.Record{
+		JobID:          job.ID,
+		Transformation: job.Transformation,
+		Site:           e.cfg.Name,
+		Node:           node,
+		Attempt:        attempt,
+		SubmitTime:     submitTime,
+		SetupStart:     setupStart,
+	}
+
+	evictAt := -1.0
+	if e.cfg.EvictionRate > 0 {
+		tte := e.evict.Exponential(1 / e.cfg.EvictionRate)
+		if tte < total {
+			evictAt = tte
+		}
+	}
+
+	if evictAt >= 0 {
+		e.sim.After(evictAt, func() {
+			end := e.Now()
+			rec.ExecStart = setupStart + setupDur
+			if rec.ExecStart > end {
+				rec.ExecStart = end // evicted during setup
+			}
+			rec.EndTime = end
+			rec.Status = kickstart.StatusEvicted
+			rec.ExitMessage = "slot reclaimed by resource owner"
+			e.slots.Release(1)
+			e.pending = append(e.pending, engine.Event{
+				JobID: job.ID, Type: engine.EventEvicted, Time: end, Record: rec,
+			})
+		})
+		return
+	}
+
+	e.sim.After(total, func() {
+		end := e.Now()
+		rec.ExecStart = setupStart + setupDur
+		rec.EndTime = end
+		rec.Status = kickstart.StatusSuccess
+		e.slots.Release(1)
+		e.pending = append(e.pending, engine.Event{
+			JobID: job.ID, Type: engine.EventFinished, Time: end, Record: rec,
+		})
+	})
+}
+
+// Next advances virtual time until a job event is available.
+func (e *Executor) Next() engine.Event {
+	for len(e.pending) == 0 {
+		if !e.sim.Step() {
+			panic("platform: executor deadlock: no pending events but jobs outstanding")
+		}
+	}
+	ev := e.pending[0]
+	e.pending = e.pending[1:]
+	return ev
+}
+
+var _ engine.Executor = (*Executor)(nil)

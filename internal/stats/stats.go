@@ -1,0 +1,184 @@
+// Package stats aggregates kickstart records into the quantities the
+// paper's evaluation reports — the role of pegasus-statistics:
+//
+//   - "Workflow Wall Time": total running time of the workflow;
+//   - "Kickstart Time": actual execution duration of a job on its node;
+//   - "Waiting Time": submit-host plus remote-host queueing before the
+//     job starts doing anything;
+//   - "Download/Install Time": the setup phase spent staging software on
+//     sites without a preinstalled stack (OSG).
+//
+// Aggregations are offered per workflow and per transformation, which is
+// exactly the granularity of the paper's Fig. 4 and Fig. 5.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"pegflow/internal/kickstart"
+)
+
+// Summary holds workflow-level statistics.
+type Summary struct {
+	// WallTime is the workflow wall time in seconds (makespan).
+	WallTime float64
+	// CumulativeJobWallTime sums submit-to-end time over successful
+	// attempts (pegasus-statistics' "cumulative job wall time").
+	CumulativeJobWallTime float64
+	// CumulativeKickstart sums execution time over successful attempts.
+	CumulativeKickstart float64
+	// Jobs is the number of distinct jobs that succeeded.
+	Jobs int
+	// Attempts is the total number of attempts, including failures.
+	Attempts int
+	// Failures counts non-success attempts.
+	Failures int
+	// Retries counts attempts beyond the first per job.
+	Retries int
+}
+
+// Summarize computes workflow-level statistics from a log and the
+// engine-reported makespan.
+func Summarize(log *kickstart.Log, makespan float64) Summary {
+	s := Summary{WallTime: makespan, Attempts: log.Len()}
+	seen := make(map[string]bool)
+	for _, r := range log.Records() {
+		if r.Status != kickstart.StatusSuccess {
+			s.Failures++
+			continue
+		}
+		s.CumulativeJobWallTime += r.Total()
+		s.CumulativeKickstart += r.Exec()
+		if !seen[r.JobID] {
+			seen[r.JobID] = true
+			s.Jobs++
+		}
+	}
+	s.Retries = s.Attempts - s.Jobs - countUnfinishedOnly(log, seen)
+	if s.Retries < 0 {
+		s.Retries = 0
+	}
+	return s
+}
+
+// countUnfinishedOnly counts attempts belonging to jobs that never
+// succeeded (their first attempts are not retries of a success).
+func countUnfinishedOnly(log *kickstart.Log, succeeded map[string]bool) int {
+	first := make(map[string]bool)
+	n := 0
+	for _, r := range log.Records() {
+		if succeeded[r.JobID] {
+			continue
+		}
+		if !first[r.JobID] {
+			first[r.JobID] = true
+			n++
+		}
+	}
+	return n
+}
+
+// TaskStats aggregates per-transformation phase timings over successful
+// attempts — one row of the paper's Fig. 5.
+type TaskStats struct {
+	// Transformation is the logical executable name.
+	Transformation string
+	// Count is the number of successful attempts aggregated.
+	Count int
+	// MeanKickstart, MeanWaiting and MeanSetup are phase means in
+	// seconds ("Kickstart Time", "Waiting Time", "Download/Install
+	// Time").
+	MeanKickstart, MeanWaiting, MeanSetup float64
+	// MaxKickstart and MaxWaiting expose stragglers.
+	MaxKickstart, MaxWaiting float64
+	// TotalKickstart sums execution seconds.
+	TotalKickstart float64
+}
+
+// PerTransformation aggregates successful attempts by transformation,
+// sorted by transformation name.
+func PerTransformation(log *kickstart.Log) []TaskStats {
+	byTr := make(map[string]*TaskStats)
+	for _, r := range log.Successes() {
+		ts := byTr[r.Transformation]
+		if ts == nil {
+			ts = &TaskStats{Transformation: r.Transformation}
+			byTr[r.Transformation] = ts
+		}
+		ts.Count++
+		ts.MeanKickstart += r.Exec()
+		ts.MeanWaiting += r.Waiting()
+		ts.MeanSetup += r.Setup()
+		ts.TotalKickstart += r.Exec()
+		if r.Exec() > ts.MaxKickstart {
+			ts.MaxKickstart = r.Exec()
+		}
+		if r.Waiting() > ts.MaxWaiting {
+			ts.MaxWaiting = r.Waiting()
+		}
+	}
+	names := make([]string, 0, len(byTr))
+	for n := range byTr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]TaskStats, 0, len(names))
+	for _, n := range names {
+		ts := byTr[n]
+		c := float64(ts.Count)
+		ts.MeanKickstart /= c
+		ts.MeanWaiting /= c
+		ts.MeanSetup /= c
+		out = append(out, *ts)
+	}
+	return out
+}
+
+// Reduction returns the fractional running-time reduction of b relative
+// to a: (a-b)/a. The paper's ">95%" claim is Reduction(serial, workflow).
+func Reduction(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a - b) / a
+}
+
+// WriteSummary renders the workflow summary as a pegasus-statistics-style
+// text block.
+func WriteSummary(w io.Writer, name string, s Summary) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Workflow statistics: %s\n", name)
+	fmt.Fprintf(&b, "Workflow Wall Time           : %12.1f s (%s)\n", s.WallTime, HMS(s.WallTime))
+	fmt.Fprintf(&b, "Cumulative Job Wall Time     : %12.1f s (%s)\n", s.CumulativeJobWallTime, HMS(s.CumulativeJobWallTime))
+	fmt.Fprintf(&b, "Cumulative Kickstart Time    : %12.1f s (%s)\n", s.CumulativeKickstart, HMS(s.CumulativeKickstart))
+	fmt.Fprintf(&b, "Jobs succeeded               : %12d\n", s.Jobs)
+	fmt.Fprintf(&b, "Total attempts               : %12d\n", s.Attempts)
+	fmt.Fprintf(&b, "Failed attempts              : %12d\n", s.Failures)
+	fmt.Fprintf(&b, "Retries                      : %12d\n", s.Retries)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePerTransformation renders Fig. 5-style per-task rows as a table.
+func WritePerTransformation(w io.Writer, rows []TaskStats) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TRANSFORMATION\tCOUNT\tKICKSTART(s)\tWAITING(s)\tDOWNLOAD/INSTALL(s)\tMAX KICKSTART(s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			r.Transformation, r.Count, r.MeanKickstart, r.MeanWaiting, r.MeanSetup, r.MaxKickstart)
+	}
+	return tw.Flush()
+}
+
+// HMS formats seconds as H:MM:SS.
+func HMS(seconds float64) string {
+	if seconds < 0 {
+		seconds = 0
+	}
+	s := int64(seconds + 0.5)
+	return fmt.Sprintf("%d:%02d:%02d", s/3600, (s%3600)/60, s%60)
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"pegflow/internal/kickstart"
+)
+
+func rec(job, tr string, submit, setupStart, execStart, end float64, status kickstart.Status, attempt int) *kickstart.Record {
+	return &kickstart.Record{
+		JobID: job, Transformation: tr, Site: "test", Attempt: attempt,
+		SubmitTime: submit, SetupStart: setupStart, ExecStart: execStart, EndTime: end,
+		Status: status,
+	}
+}
+
+func buildLog(t *testing.T, recs ...*kickstart.Record) *kickstart.Log {
+	t.Helper()
+	l := &kickstart.Log{}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	l := buildLog(t,
+		rec("a", "split", 0, 10, 10, 110, kickstart.StatusSuccess, 1),
+		rec("b", "run_cap3", 0, 20, 320, 1320, kickstart.StatusSuccess, 1),
+	)
+	s := Summarize(l, 1320)
+	if s.WallTime != 1320 {
+		t.Errorf("WallTime = %v", s.WallTime)
+	}
+	if s.Jobs != 2 || s.Attempts != 2 || s.Failures != 0 || s.Retries != 0 {
+		t.Errorf("counts = %+v", s)
+	}
+	// a: total 110, b: total 1320.
+	if s.CumulativeJobWallTime != 1430 {
+		t.Errorf("CumulativeJobWallTime = %v, want 1430", s.CumulativeJobWallTime)
+	}
+	// a exec 100, b exec 1000.
+	if s.CumulativeKickstart != 1100 {
+		t.Errorf("CumulativeKickstart = %v, want 1100", s.CumulativeKickstart)
+	}
+}
+
+func TestSummarizeRetriesAndFailures(t *testing.T) {
+	l := buildLog(t,
+		rec("a", "t", 0, 5, 5, 50, kickstart.StatusEvicted, 1),
+		rec("a", "t", 50, 55, 55, 150, kickstart.StatusSuccess, 2),
+		rec("b", "t", 0, 5, 5, 100, kickstart.StatusSuccess, 1),
+		rec("c", "t", 0, 5, 5, 20, kickstart.StatusFailed, 1),
+		rec("c", "t", 20, 25, 25, 40, kickstart.StatusFailed, 2),
+	)
+	s := Summarize(l, 150)
+	if s.Jobs != 2 {
+		t.Errorf("Jobs = %d, want 2 (a, b)", s.Jobs)
+	}
+	if s.Failures != 3 {
+		t.Errorf("Failures = %d, want 3", s.Failures)
+	}
+	if s.Attempts != 5 {
+		t.Errorf("Attempts = %d, want 5", s.Attempts)
+	}
+	// Retries: attempts(5) - succeeded jobs(2) - never-succeeded jobs(1) = 2.
+	if s.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestPerTransformation(t *testing.T) {
+	l := buildLog(t,
+		rec("c1", "run_cap3", 0, 10, 310, 1310, kickstart.StatusSuccess, 1),
+		rec("c2", "run_cap3", 0, 30, 330, 2330, kickstart.StatusSuccess, 1),
+		rec("m", "merge", 2400, 2410, 2410, 2470, kickstart.StatusSuccess, 1),
+		rec("x", "run_cap3", 0, 5, 5, 10, kickstart.StatusFailed, 1), // excluded
+	)
+	rows := PerTransformation(l)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// Sorted: merge before run_cap3.
+	if rows[0].Transformation != "merge" || rows[1].Transformation != "run_cap3" {
+		t.Fatalf("order = %v, %v", rows[0].Transformation, rows[1].Transformation)
+	}
+	cap3 := rows[1]
+	if cap3.Count != 2 {
+		t.Errorf("count = %d, want 2 (failure excluded)", cap3.Count)
+	}
+	if cap3.MeanKickstart != 1500 { // (1000+2000)/2
+		t.Errorf("MeanKickstart = %v, want 1500", cap3.MeanKickstart)
+	}
+	if cap3.MeanWaiting != 20 { // (10+30)/2
+		t.Errorf("MeanWaiting = %v, want 20", cap3.MeanWaiting)
+	}
+	if cap3.MeanSetup != 300 { // (300+300)/2
+		t.Errorf("MeanSetup = %v, want 300", cap3.MeanSetup)
+	}
+	if cap3.MaxKickstart != 2000 || cap3.MaxWaiting != 30 {
+		t.Errorf("max = %v/%v", cap3.MaxKickstart, cap3.MaxWaiting)
+	}
+	if cap3.TotalKickstart != 3000 {
+		t.Errorf("TotalKickstart = %v", cap3.TotalKickstart)
+	}
+}
+
+func TestPerTransformationEmptyLog(t *testing.T) {
+	if rows := PerTransformation(&kickstart.Log{}); len(rows) != 0 {
+		t.Errorf("rows = %v, want none", rows)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	// The paper's headline: 100 h serial → 3 h workflow is a 97% cut.
+	if got := Reduction(360000, 10800); math.Abs(got-0.97) > 1e-9 {
+		t.Errorf("Reduction = %v, want 0.97", got)
+	}
+	if got := Reduction(0, 5); got != 0 {
+		t.Errorf("Reduction with zero base = %v", got)
+	}
+	if got := Reduction(100, 100); got != 0 {
+		t.Errorf("no-change reduction = %v", got)
+	}
+}
+
+func TestHMS(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0:00:00"},
+		{59.4, "0:00:59"},
+		{3600, "1:00:00"},
+		{41593, "11:33:13"},
+		{360000, "100:00:00"},
+		{-5, "0:00:00"},
+	}
+	for _, c := range cases {
+		if got := HMS(c.in); got != c.want {
+			t.Errorf("HMS(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteSummaryRendering(t *testing.T) {
+	l := buildLog(t, rec("a", "t", 0, 0, 0, 41593, kickstart.StatusSuccess, 1))
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, "blast2cap3-sandhills-n300", Summarize(l, 41593)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Workflow Wall Time", "41593.0", "11:33:13", "blast2cap3-sandhills-n300"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePerTransformationRendering(t *testing.T) {
+	l := buildLog(t,
+		rec("c1", "run_cap3", 0, 10, 310, 1310, kickstart.StatusSuccess, 1),
+	)
+	var buf bytes.Buffer
+	if err := WritePerTransformation(&buf, PerTransformation(l)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TRANSFORMATION", "run_cap3", "1000.0", "300.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

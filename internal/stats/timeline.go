@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pegflow/internal/kickstart"
+)
+
+// Timeline renders an ASCII utilization chart from a kickstart log — the
+// role of pegasus-plots: for each time bucket, how many jobs were waiting,
+// installing, and executing. Useful for eyeballing where a platform loses
+// time (long waiting ramps on OSG vs dense execution on the campus
+// cluster).
+type Timeline struct {
+	// BucketSeconds is the width of each row's time bucket.
+	BucketSeconds float64
+	// Buckets holds per-bucket concurrency peaks.
+	Buckets []TimelineBucket
+}
+
+// TimelineBucket is one row of the chart.
+type TimelineBucket struct {
+	// Start is the bucket's start time in seconds.
+	Start float64
+	// Waiting, Installing and Executing are the peak number of attempts
+	// in each phase during the bucket.
+	Waiting, Installing, Executing int
+}
+
+// BuildTimeline aggregates a log into the given number of buckets
+// (minimum 1). Failed attempts count toward utilization too: they
+// occupied resources until they died.
+func BuildTimeline(log *kickstart.Log, buckets int) Timeline {
+	if buckets < 1 {
+		buckets = 1
+	}
+	end := 0.0
+	for _, r := range log.Records() {
+		if r.EndTime > end {
+			end = r.EndTime
+		}
+	}
+	if end == 0 {
+		return Timeline{BucketSeconds: 0, Buckets: nil}
+	}
+	width := end / float64(buckets)
+	tl := Timeline{BucketSeconds: width, Buckets: make([]TimelineBucket, buckets)}
+	for i := range tl.Buckets {
+		tl.Buckets[i].Start = float64(i) * width
+	}
+	clamp := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= buckets {
+			return buckets - 1
+		}
+		return i
+	}
+	span := func(from, to float64, bump func(*TimelineBucket)) {
+		if to <= from {
+			return
+		}
+		b0, b1 := clamp(int(from/width)), clamp(int((to-1e-9)/width))
+		for b := b0; b <= b1; b++ {
+			bump(&tl.Buckets[b])
+		}
+	}
+	for _, r := range log.Records() {
+		span(r.SubmitTime, r.SetupStart, func(b *TimelineBucket) { b.Waiting++ })
+		span(r.SetupStart, r.ExecStart, func(b *TimelineBucket) { b.Installing++ })
+		span(r.ExecStart, r.EndTime, func(b *TimelineBucket) { b.Executing++ })
+	}
+	return tl
+}
+
+// WriteTimeline renders the chart; each row shows the bucket start time
+// and bars for executing (#), installing (+) and waiting (.), scaled so
+// the widest row fits maxWidth characters.
+func WriteTimeline(w io.Writer, tl Timeline, maxWidth int) error {
+	if maxWidth <= 0 {
+		maxWidth = 60
+	}
+	peak := 1
+	for _, b := range tl.Buckets {
+		if v := b.Waiting + b.Installing + b.Executing; v > peak {
+			peak = v
+		}
+	}
+	scale := func(v int) int {
+		n := v * maxWidth / peak
+		if v > 0 && n == 0 {
+			n = 1
+		}
+		return n
+	}
+	if _, err := fmt.Fprintf(w, "# timeline: '#'=executing '+'=installing '.'=waiting (peak %d)\n", peak); err != nil {
+		return err
+	}
+	for _, b := range tl.Buckets {
+		bar := strings.Repeat("#", scale(b.Executing)) +
+			strings.Repeat("+", scale(b.Installing)) +
+			strings.Repeat(".", scale(b.Waiting))
+		if _, err := fmt.Fprintf(w, "%10.0fs |%s\n", b.Start, bar); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SiteBreakdown aggregates successful-attempt phase totals per site —
+// useful when a plan spans several sites.
+func SiteBreakdown(log *kickstart.Log) map[string]TaskStats {
+	out := make(map[string]TaskStats)
+	for _, r := range log.Successes() {
+		ts := out[r.Site]
+		ts.Transformation = r.Site
+		ts.Count++
+		ts.MeanKickstart += r.Exec()
+		ts.MeanWaiting += r.Waiting()
+		ts.MeanSetup += r.Setup()
+		ts.TotalKickstart += r.Exec()
+		out[r.Site] = ts
+	}
+	for site, ts := range out {
+		c := float64(ts.Count)
+		ts.MeanKickstart /= c
+		ts.MeanWaiting /= c
+		ts.MeanSetup /= c
+		out[site] = ts
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0-100) of the values produced
+// by f over successful attempts (nearest-rank).
+func Percentile(log *kickstart.Log, p float64, f func(*kickstart.Record) float64) float64 {
+	var vs []float64
+	for _, r := range log.Successes() {
+		vs = append(vs, f(r))
+	}
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	if p <= 0 {
+		return vs[0]
+	}
+	if p >= 100 {
+		return vs[len(vs)-1]
+	}
+	idx := int(p/100*float64(len(vs))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vs) {
+		idx = len(vs) - 1
+	}
+	return vs[idx]
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pegflow/internal/kickstart"
+)
+
+func timelineLog(t *testing.T) *kickstart.Log {
+	t.Helper()
+	return buildLog(t,
+		// waits 0-100, installs 100-200, runs 200-400
+		rec("a", "t", 0, 100, 200, 400, kickstart.StatusSuccess, 1),
+		// runs 0-400 with no waiting/install
+		rec("b", "t", 0, 0, 0, 400, kickstart.StatusSuccess, 1),
+	)
+}
+
+func TestBuildTimelinePhases(t *testing.T) {
+	tl := BuildTimeline(timelineLog(t), 4)
+	if len(tl.Buckets) != 4 || tl.BucketSeconds != 100 {
+		t.Fatalf("buckets = %d width %v", len(tl.Buckets), tl.BucketSeconds)
+	}
+	b0 := tl.Buckets[0]
+	if b0.Waiting != 1 || b0.Installing != 0 || b0.Executing != 1 {
+		t.Errorf("bucket 0 = %+v, want waiting 1, executing 1", b0)
+	}
+	b1 := tl.Buckets[1]
+	if b1.Installing != 1 || b1.Executing != 1 {
+		t.Errorf("bucket 1 = %+v, want installing 1, executing 1", b1)
+	}
+	b3 := tl.Buckets[3]
+	if b3.Executing != 2 || b3.Waiting != 0 {
+		t.Errorf("bucket 3 = %+v, want 2 executing", b3)
+	}
+}
+
+func TestBuildTimelineEmptyAndDegenerate(t *testing.T) {
+	tl := BuildTimeline(&kickstart.Log{}, 5)
+	if len(tl.Buckets) != 0 {
+		t.Errorf("empty log timeline = %+v", tl)
+	}
+	tl = BuildTimeline(timelineLog(t), 0) // clamped to 1 bucket
+	if len(tl.Buckets) != 1 {
+		t.Errorf("bucket clamp failed: %d", len(tl.Buckets))
+	}
+	if tl.Buckets[0].Executing != 2 {
+		t.Errorf("single bucket = %+v", tl.Buckets[0])
+	}
+}
+
+func TestWriteTimelineRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, BuildTimeline(timelineLog(t), 4), 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "#") {
+		t.Error("no executing bars rendered")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("no waiting bars rendered")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("no installing bars rendered")
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 { // header + 4 buckets
+		t.Errorf("rendered %d lines", lines)
+	}
+}
+
+func TestSiteBreakdown(t *testing.T) {
+	l := buildLog(t,
+		rec("a", "t", 0, 10, 10, 110, kickstart.StatusSuccess, 1),
+		rec("b", "t", 0, 20, 50, 150, kickstart.StatusSuccess, 1),
+	)
+	l.Records()[1].Site = "osg"
+	byer := SiteBreakdown(l)
+	if len(byer) != 2 {
+		t.Fatalf("sites = %d", len(byer))
+	}
+	if byer["test"].MeanKickstart != 100 {
+		t.Errorf("test site kickstart = %v", byer["test"].MeanKickstart)
+	}
+	if byer["osg"].MeanSetup != 30 {
+		t.Errorf("osg setup = %v", byer["osg"].MeanSetup)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var recs []*kickstart.Record
+	for i := 1; i <= 100; i++ {
+		r := rec("j", "t", 0, 0, 0, float64(i), kickstart.StatusSuccess, 1)
+		recs = append(recs, r)
+	}
+	l := buildLog(t, recs...)
+	exec := func(r *kickstart.Record) float64 { return r.Exec() }
+	if got := Percentile(l, 50, exec); got != 50 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(l, 100, exec); got != 100 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(l, 0, exec); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(&kickstart.Log{}, 50, exec); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}
