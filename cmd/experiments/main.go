@@ -6,13 +6,14 @@
 //
 // Usage:
 //
-//	experiments [-seed N] [-fig 4|5|ablations|all]
+//	experiments [-seed N] [-workers N] [-fig 4|5|ablations|all]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"pegflow/internal/core"
@@ -20,12 +21,16 @@ import (
 	"pegflow/internal/workflow"
 )
 
+var workers = flag.Int("workers", runtime.NumCPU(),
+	"concurrent simulations for the evaluation grid and the seed sweep (results are identical for any value)")
+
 func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed (42 is the canonical reproduction)")
 	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, all")
 	flag.Parse()
 
 	e := core.DefaultExperiment(*seed)
+	e.Workers = *workers
 	switch *fig {
 	case "4":
 		if err := fig4(e); err != nil {
@@ -217,7 +222,13 @@ func ablations(e *core.Experiment) error {
 // the current resources").
 func seedsSweep(base uint64) error {
 	fmt.Println("== Seed sweep: wall-time distribution over 10 seeds ==")
-	sw, err := core.MonteCarlo(base, 10, nil, nil)
+	sw, err := core.MonteCarloSweep(base, 10, core.SweepOptions{
+		Workers: *workers,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d cells", done, total)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module pegflow
+
+go 1.22

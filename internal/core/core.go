@@ -42,6 +42,10 @@ type Experiment struct {
 	Workload workflow.Workload
 	// Cost is the calibrated cost model.
 	Cost workflow.CostModel
+	// Workers bounds the number of concurrent simulations RunAll fans
+	// out; <= 0 means runtime.NumCPU(), 1 forces the serial path. The
+	// results are identical for any worker count.
+	Workers int
 }
 
 // DefaultExperiment returns the paper-scale configuration.
@@ -174,22 +178,49 @@ type AllResults struct {
 	Runs map[string]map[int]*RunResult
 }
 
-// RunAll executes the full evaluation grid.
+// RunAll executes the full evaluation grid — the serial baseline plus
+// every (platform, n) cell — across e.Workers concurrent simulations.
+// Each cell is an independent simulation seeded from (e.Seed, n), so the
+// grid is embarrassingly parallel and the results match the serial path
+// exactly; they are merged in deterministic grid order after collection.
 func (e *Experiment) RunAll() (*AllResults, error) {
-	serial, err := e.RunSerial()
+	type gridCell struct {
+		platform string
+		n        int
+	}
+	var cells []gridCell
+	for _, p := range Platforms {
+		for _, n := range PaperNValues {
+			cells = append(cells, gridCell{p, n})
+		}
+	}
+	results := make([]*RunResult, 1+len(cells))
+	err := forEachTask(e.Workers, 1+len(cells), func(i int) error {
+		if i == 0 {
+			ser, err := e.RunSerial()
+			if err != nil {
+				return err
+			}
+			results[0] = ser
+			return nil
+		}
+		c := cells[i-1]
+		r, err := e.RunWorkflow(c.platform, c.n)
+		if err != nil {
+			return fmt.Errorf("core: %s n=%d: %w", c.platform, c.n, err)
+		}
+		results[i] = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := &AllResults{Serial: serial, Runs: make(map[string]map[int]*RunResult)}
-	for _, p := range Platforms {
-		out.Runs[p] = make(map[int]*RunResult)
-		for _, n := range PaperNValues {
-			r, err := e.RunWorkflow(p, n)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s n=%d: %w", p, n, err)
-			}
-			out.Runs[p][n] = r
+	out := &AllResults{Serial: results[0], Runs: make(map[string]map[int]*RunResult)}
+	for i, c := range cells {
+		if out.Runs[c.platform] == nil {
+			out.Runs[c.platform] = make(map[int]*RunResult)
 		}
+		out.Runs[c.platform][c.n] = results[i+1]
 	}
 	return out, nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -42,62 +41,11 @@ type Sweep struct {
 
 // MonteCarlo runs the evaluation grid for `runs` seeds starting at
 // baseSeed and aggregates. Platforms defaults to the paper's two when nil.
+// It fans out across runtime.NumCPU() workers; use MonteCarloSweep to
+// control the worker count or observe progress. The output is identical
+// for any worker count.
 func MonteCarlo(baseSeed uint64, runs int, platforms []string, nValues []int) (*Sweep, error) {
-	if runs <= 0 {
-		return nil, fmt.Errorf("core: non-positive run count %d", runs)
-	}
-	if platforms == nil {
-		platforms = Platforms
-	}
-	if nValues == nil {
-		nValues = PaperNValues
-	}
-	walls := make(map[string]map[int][]float64)
-	evs := make(map[string]map[int]int)
-	opt := make(map[string]map[int]int)
-	for _, p := range platforms {
-		walls[p] = make(map[int][]float64)
-		evs[p] = make(map[int]int)
-		opt[p] = make(map[int]int)
-	}
-	var serialWalls []float64
-
-	for r := 0; r < runs; r++ {
-		e := DefaultExperiment(baseSeed + uint64(r))
-		ser, err := e.RunSerial()
-		if err != nil {
-			return nil, err
-		}
-		serialWalls = append(serialWalls, ser.WallTime())
-		for _, p := range platforms {
-			bestN, bestW := 0, math.Inf(1)
-			for _, n := range nValues {
-				res, err := e.RunWorkflow(p, n)
-				if err != nil {
-					return nil, fmt.Errorf("core: seed %d %s n=%d: %w", e.Seed, p, n, err)
-				}
-				walls[p][n] = append(walls[p][n], res.WallTime())
-				evs[p][n] += res.Result.Evictions
-				if res.WallTime() < bestW {
-					bestN, bestW = n, res.WallTime()
-				}
-			}
-			opt[p][bestN]++
-		}
-	}
-
-	out := &Sweep{
-		Serial:         summarize("serial", 0, serialWalls, 0),
-		Cells:          make(map[string]map[int]SweepStats),
-		OptimalNCounts: opt,
-	}
-	for _, p := range platforms {
-		out.Cells[p] = make(map[int]SweepStats)
-		for _, n := range nValues {
-			out.Cells[p][n] = summarize(p, n, walls[p][n], evs[p][n])
-		}
-	}
-	return out, nil
+	return MonteCarloSweep(baseSeed, runs, SweepOptions{Platforms: platforms, NValues: nValues})
 }
 
 func summarize(platform string, n int, vals []float64, evictions int) SweepStats {

@@ -1,0 +1,204 @@
+// Parallel experiment harness: a bounded worker pool fans the Monte Carlo
+// grid and the single-seed evaluation grid out across goroutines. Every
+// task derives its entire RNG state from (baseSeed, rep, platform, n), so
+// a parallel sweep is bit-for-bit identical to a serial one: sweep workers
+// never share an Experiment (RunAll shares one, but strictly read-only),
+// and results are merged in deterministic rep-major order after collection
+// instead of being accumulated under a lock.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachTask runs fn(0) … fn(n-1) across a pool of at most `workers`
+// goroutines (workers <= 0 means runtime.NumCPU()). It waits for all
+// started tasks, and returns the error of the lowest-numbered failed task.
+// After the first failure no new tasks are started, but fn is otherwise
+// invoked exactly once per index; callers write results into index i of a
+// pre-sized slice, which keeps collection race-free and ordering
+// deterministic without a mutex.
+func forEachTask(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SweepOptions configures a Monte Carlo sweep.
+type SweepOptions struct {
+	// Platforms defaults to the paper's two when nil.
+	Platforms []string
+	// NValues defaults to PaperNValues when nil.
+	NValues []int
+	// Workers bounds the number of concurrent simulations; <= 0 means
+	// runtime.NumCPU(), 1 forces the serial path. Any worker count
+	// produces identical output for the same base seed.
+	Workers int
+	// Progress, when non-nil, is called after each completed grid cell
+	// with the number of finished cells and the total. Calls are
+	// serialized, but their order follows completion, not cell order.
+	Progress func(done, total int)
+}
+
+// sweepCell is the raw outcome of one (rep, platform, n) simulation.
+type sweepCell struct {
+	wall      float64
+	evictions int
+}
+
+// MonteCarloSweep runs the evaluation grid for `runs` seeds starting at
+// baseSeed — one serial baseline plus one (platform, n) workflow run per
+// seed — across a bounded worker pool, and aggregates per cell. Each grid
+// cell builds its own Experiment from baseSeed+rep, so workers share no
+// state and the result is independent of the worker count.
+func MonteCarloSweep(baseSeed uint64, runs int, opts SweepOptions) (*Sweep, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("core: non-positive run count %d", runs)
+	}
+	platforms := opts.Platforms
+	if platforms == nil {
+		platforms = Platforms
+	}
+	nValues := opts.NValues
+	if nValues == nil {
+		nValues = PaperNValues
+	}
+
+	// Task layout, rep-major: for each rep, the serial baseline followed
+	// by the (platform, n) cells in grid order.
+	perRep := 1 + len(platforms)*len(nValues)
+	total := runs * perRep
+	serialWalls := make([]float64, runs)
+	cells := make([]sweepCell, runs*len(platforms)*len(nValues))
+
+	var progressMu sync.Mutex
+	done := 0
+	tick := func() {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		done++
+		opts.Progress(done, total)
+		progressMu.Unlock()
+	}
+
+	err := forEachTask(opts.Workers, total, func(i int) error {
+		rep, k := i/perRep, i%perRep
+		e := DefaultExperiment(baseSeed + uint64(rep))
+		if k == 0 {
+			ser, err := e.RunSerial()
+			if err != nil {
+				return err
+			}
+			serialWalls[rep] = ser.WallTime()
+			tick()
+			return nil
+		}
+		j := k - 1
+		p, n := platforms[j/len(nValues)], nValues[j%len(nValues)]
+		res, err := e.RunWorkflow(p, n)
+		if err != nil {
+			return fmt.Errorf("core: seed %d %s n=%d: %w", e.Seed, p, n, err)
+		}
+		cells[rep*len(platforms)*len(nValues)+j] = sweepCell{
+			wall:      res.WallTime(),
+			evictions: res.Result.Evictions,
+		}
+		tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: walk reps in order so wall-time slices (and
+	// therefore every floating-point accumulation in summarize) see the
+	// exact sequence the serial loop produced.
+	walls := make(map[string]map[int][]float64)
+	evs := make(map[string]map[int]int)
+	opt := make(map[string]map[int]int)
+	for _, p := range platforms {
+		walls[p] = make(map[int][]float64)
+		evs[p] = make(map[int]int)
+		opt[p] = make(map[int]int)
+	}
+	for rep := 0; rep < runs; rep++ {
+		for pi, p := range platforms {
+			bestN, bestW := 0, math.Inf(1)
+			for ni, n := range nValues {
+				c := cells[(rep*len(platforms)+pi)*len(nValues)+ni]
+				walls[p][n] = append(walls[p][n], c.wall)
+				evs[p][n] += c.evictions
+				if c.wall < bestW {
+					bestN, bestW = n, c.wall
+				}
+			}
+			opt[p][bestN]++
+		}
+	}
+
+	out := &Sweep{
+		Serial:         summarize("serial", 0, serialWalls, 0),
+		Cells:          make(map[string]map[int]SweepStats),
+		OptimalNCounts: opt,
+	}
+	for _, p := range platforms {
+		out.Cells[p] = make(map[int]SweepStats)
+		for _, n := range nValues {
+			out.Cells[p][n] = summarize(p, n, walls[p][n], evs[p][n])
+		}
+	}
+	return out, nil
+}

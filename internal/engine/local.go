@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"pegflow/internal/kickstart"
@@ -36,7 +35,6 @@ type LocalExecutor struct {
 	sem      chan struct{}
 	events   chan Event
 	start    time.Time
-	mu       sync.Mutex
 }
 
 // NewLocalExecutor builds an executor with the given transformation
