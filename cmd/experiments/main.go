@@ -26,7 +26,7 @@ var workers = flag.Int("workers", runtime.NumCPU(),
 
 func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed (42 is the canonical reproduction)")
-	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, seeds, ensemble, all")
 	flag.Parse()
 
 	e := core.DefaultExperiment(*seed)
@@ -52,6 +52,10 @@ func main() {
 		if err := seedsSweep(*seed); err != nil {
 			fatal(err)
 		}
+	case "ensemble":
+		if err := ensembleSweep(*seed); err != nil {
+			fatal(err)
+		}
 	case "all":
 		if err := fig4(e); err != nil {
 			fatal(err)
@@ -66,6 +70,9 @@ func main() {
 			fatal(err)
 		}
 		if err := seedsSweep(*seed); err != nil {
+			fatal(err)
+		}
+		if err := ensembleSweep(*seed); err != nil {
 			fatal(err)
 		}
 	default:
@@ -249,6 +256,33 @@ func seedsSweep(base uint64) error {
 	fmt.Println("\noptimal n per platform (count over 10 seeds):")
 	for _, p := range core.Platforms {
 		fmt.Printf("  %-10s %v\n", p, sw.OptimalNCounts[p])
+	}
+	fmt.Println()
+	return nil
+}
+
+// ensembleSweep compares site-selection policies for an 8-workflow
+// ensemble over 5 seeds on the heterogeneous bench fixture — the
+// multi-site/ensemble extension of the paper's platform comparison.
+func ensembleSweep(base uint64) error {
+	fmt.Println("== Ensemble: site-selection policies, 8 workflows x 2 sites, 5 seeds ==")
+	const runs = 5
+	comp, err := core.ComparePolicies(base, runs, nil, *workers,
+		func(seed uint64, policy string) (*core.EnsembleExperiment, error) {
+			return core.HeteroBenchEnsemble(seed, 8, 24, policy)
+		})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "POLICY\tMEAN MAKESPAN (s)\tMIN\tMAX\tMEAN WF MAKESPAN (s)\tRETRIES\tEVICTIONS")
+	for _, ps := range comp {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
+			ps.Policy, ps.MeanMakespan, ps.MinMakespan, ps.MaxMakespan,
+			ps.MeanWorkflowMakespan, ps.TotalRetries, ps.TotalEvictions)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
 	}
 	fmt.Println()
 	return nil

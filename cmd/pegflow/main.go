@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"pegflow/internal/core"
 	"pegflow/internal/dax"
 	"pegflow/internal/engine"
 	"pegflow/internal/kickstart"
@@ -38,6 +40,8 @@ func main() {
 		err = cmdPlan(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "ensemble":
+		err = cmdEnsemble(os.Args[2:])
 	case "statistics":
 		err = cmdStatistics(os.Args[2:])
 	case "analyze":
@@ -59,8 +63,9 @@ func usage() {
 
 commands:
   dax         generate the blast2cap3 abstract workflow (DAX XML) on stdout
-  plan        map a DAX onto a site and print the executable workflow
-  run         plan and execute a DAX on a simulated platform
+  plan        map a DAX onto one site (-site) or several (-sites a,b -policy p)
+  run         plan and execute a DAX on simulated platforms
+  ensemble    run many workflows concurrently on a shared platform pool
   statistics  summarize a kickstart log (JSON lines)
   analyze     report failed attempts from a kickstart log`)
 }
@@ -98,7 +103,10 @@ func cmdDAX(args []string) error {
 func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	daxPath := fs.String("dax", "", "abstract workflow file (required)")
-	site := fs.String("site", "sandhills", "execution site: sandhills or osg")
+	site := fs.String("site", "sandhills", "execution site: sandhills, osg or cloud")
+	sites := fs.String("sites", "", "comma-separated site set for multi-site planning (overrides -site)")
+	policy := fs.String("policy", planner.PolicyDataAware,
+		"site-selection policy for -sites: round-robin, data-aware or runtime-aware")
 	cluster := fs.Int("cluster", 0, "horizontal clustering factor for run_cap3 (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +118,7 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := planFor(wf, *site, *cluster)
+	plan, err := planFor(wf, *site, *sites, *policy, *cluster)
 	if err != nil {
 		return err
 	}
@@ -118,12 +126,19 @@ func cmdPlan(args []string) error {
 	fmt.Printf("  jobs: %d   edges: %d   estimated serial work: %s\n",
 		plan.Graph.Len(), plan.Graph.Edges(), stats.HMS(plan.TotalExecSeconds()))
 	installs := 0
+	perSite := make(map[string]int)
 	for _, j := range plan.Jobs() {
 		if j.NeedsInstall {
 			installs++
 		}
+		perSite[j.Site]++
 	}
 	fmt.Printf("  jobs with download/install step: %d\n", installs)
+	if len(plan.Sites) > 0 {
+		for _, s := range plan.Sites {
+			fmt.Printf("  jobs at %-12s: %d\n", s, perSite[s])
+		}
+	}
 	cp, err := plan.Graph.CriticalPathLength()
 	if err != nil {
 		return err
@@ -132,23 +147,71 @@ func cmdPlan(args []string) error {
 	return nil
 }
 
-func planFor(wf *dax.Workflow, site string, cluster int) (*planner.Plan, error) {
+// splitSites parses a comma-separated site list.
+func splitSites(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func planFor(wf *dax.Workflow, site, sites, policy string, cluster int) (*planner.Plan, error) {
 	cats, err := workflow.PaperCatalogs(workflow.PaperWorkload(42), 300, 600)
 	if err != nil {
 		return nil, err
 	}
-	opts := planner.Options{Site: site}
-	if cluster > 1 {
-		opts.ClusterSize = cluster
-		opts.ClusterTransformations = []string{workflow.TrRunCAP3}
+	clusterTr := []string{workflow.TrRunCAP3}
+	if cluster <= 1 {
+		cluster, clusterTr = 0, nil
 	}
-	return planner.New(wf, cats, opts)
+	if sites != "" {
+		pol, err := planner.NewPolicy(policy)
+		if err != nil {
+			return nil, err
+		}
+		return planner.NewMulti(wf, cats, planner.MultiOptions{
+			Sites:  splitSites(sites),
+			Policy: pol,
+			// PaperCatalogs registers replicas for both external inputs,
+			// so multi-site plans stage them in once per site.
+			AddStageIn:             true,
+			ClusterSize:            cluster,
+			ClusterTransformations: clusterTr,
+		})
+	}
+	return planner.New(wf, cats, planner.Options{
+		Site:                   site,
+		ClusterSize:            cluster,
+		ClusterTransformations: clusterTr,
+	})
+}
+
+// siteConfig returns the simulated platform model for a built-in site.
+func siteConfig(name string, seed uint64) (platform.Config, error) {
+	switch name {
+	case "sandhills":
+		cfg := platform.Sandhills(seed)
+		cfg.Slots = 300
+		return cfg, nil
+	case "osg":
+		return platform.OSG(seed), nil
+	case "cloud":
+		return platform.Cloud(seed), nil
+	default:
+		return platform.Config{}, fmt.Errorf("unknown site %q (have sandhills, osg, cloud)", name)
+	}
 }
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	daxPath := fs.String("dax", "", "abstract workflow file (required)")
-	site := fs.String("site", "sandhills", "execution site: sandhills or osg")
+	site := fs.String("site", "sandhills", "execution site: sandhills, osg or cloud")
+	sites := fs.String("sites", "", "comma-separated site set for a multi-site run (overrides -site)")
+	policy := fs.String("policy", planner.PolicyDataAware,
+		"site-selection policy for -sites: round-robin, data-aware or runtime-aware")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	retries := fs.Int("retries", 5, "retry limit per job")
 	cluster := fs.Int("cluster", 0, "horizontal clustering factor (0 = off)")
@@ -165,23 +228,38 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := planFor(wf, *site, *cluster)
+	plan, err := planFor(wf, *site, *sites, *policy, *cluster)
 	if err != nil {
 		return err
 	}
-	var cfg platform.Config
-	switch *site {
-	case "sandhills":
-		cfg = platform.Sandhills(*seed)
-		cfg.Slots = 300
-	case "osg":
-		cfg = platform.OSG(*seed)
-	default:
-		return fmt.Errorf("run: unknown site %q", *site)
-	}
-	ex, err := platform.NewExecutor(cfg)
-	if err != nil {
-		return err
+	var ex engine.Executor
+	if *sites != "" {
+		var cfgs []platform.Config
+		for _, s := range splitSites(*sites) {
+			cfg, err := siteConfig(s, *seed)
+			if err != nil {
+				return fmt.Errorf("run: %w", err)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		multi, err := platform.NewMultiExecutor(cfgs)
+		if err != nil {
+			return err
+		}
+		if err := multi.CheckPlan(plan); err != nil {
+			return err
+		}
+		ex = multi
+	} else {
+		cfg, err := siteConfig(*site, *seed)
+		if err != nil {
+			return fmt.Errorf("run: %w", err)
+		}
+		single, err := platform.NewExecutor(cfg)
+		if err != nil {
+			return err
+		}
+		ex = single
 	}
 	res, err := engine.Run(plan, ex, engine.Options{RetryLimit: *retries})
 	if err != nil {
@@ -233,6 +311,61 @@ func cmdRun(args []string) error {
 		fmt.Printf("\nkickstart log written to %s\n", *logOut)
 	}
 	return nil
+}
+
+// cmdEnsemble runs N blast2cap3 workflows concurrently on a shared pool
+// of simulated platforms — the Pegasus Ensemble Manager scenario.
+func cmdEnsemble(args []string) error {
+	fs := flag.NewFlagSet("ensemble", flag.ExitOnError)
+	workflows := fs.Int("workflows", 8, "number of concurrent workflows")
+	n := fs.Int("n", 50, "cluster chunks per workflow")
+	sitesFlag := fs.String("sites", "sandhills,osg", "comma-separated execution sites")
+	policy := fs.String("policy", planner.PolicyDataAware,
+		"site-selection policy: round-robin, data-aware or runtime-aware")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	retries := fs.Int("retries", 5, "retry limit per job")
+	maxInFlight := fs.Int("max-inflight", 0, "ensemble-wide cap on jobs in flight (0 = unlimited)")
+	workers := fs.Int("workers", 0, "planning workers (0 = all CPUs; results are identical for any count)")
+	jsonOut := fs.Bool("json", false, "emit the ensemble report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	siteNames := splitSites(*sitesFlag)
+	if len(siteNames) == 0 {
+		return fmt.Errorf("ensemble: no sites given")
+	}
+	cfgs := make([]platform.Config, 0, len(siteNames))
+	for _, s := range siteNames {
+		cfg, err := siteConfig(s, *seed)
+		if err != nil {
+			return fmt.Errorf("ensemble: %w", err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	cats, err := workflow.PaperCatalogs(workflow.PaperWorkload(*seed), 300, 600)
+	if err != nil {
+		return err
+	}
+	exp := &core.EnsembleExperiment{
+		Seed:        *seed,
+		Workflows:   *workflows,
+		N:           *n,
+		Policy:      *policy,
+		Sites:       siteNames,
+		Platforms:   cfgs,
+		Catalogs:    cats,
+		MaxInFlight: *maxInFlight,
+		RetryLimit:  *retries,
+		Workers:     *workers,
+	}
+	_, report, err := exp.Run()
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return report.WriteJSON(os.Stdout)
+	}
+	return stats.WriteEnsemble(os.Stdout, report)
 }
 
 func loadLog(path string) (*kickstart.Log, error) {

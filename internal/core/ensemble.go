@@ -1,0 +1,293 @@
+// Ensemble experiments: many blast2cap3 workflows sharing a platform pool
+// under one WMS, compared across site-selection policies — the multi-user,
+// multi-backend regime the ROADMAP's north star demands and the natural
+// extension of the paper's one-workflow-per-platform measurements.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pegflow/internal/catalog"
+	"pegflow/internal/ensemble"
+	"pegflow/internal/planner"
+	"pegflow/internal/pool"
+	"pegflow/internal/sim/platform"
+	"pegflow/internal/stats"
+	"pegflow/internal/workflow"
+)
+
+// EnsembleExperiment configures one ensemble run: N member workflows
+// planned across a site set under a policy, executed on a shared pool.
+type EnsembleExperiment struct {
+	// Seed drives workload synthesis and every platform RNG.
+	Seed uint64
+	// Workflows is the member count.
+	Workflows int
+	// N is the cluster-chunk count per member workflow.
+	N int
+	// Policy is the site-selection policy name (planner.PolicyNames).
+	Policy string
+	// Sites are the catalog site names to plan across.
+	Sites []string
+	// Platforms are the simulated platform configurations backing Sites.
+	Platforms []platform.Config
+	// Catalogs resolve sites, transformations and replicas.
+	Catalogs planner.Catalogs
+	// MaxInFlight is the ensemble-wide job throttle (0 = unlimited).
+	MaxInFlight int
+	// RetryLimit is the per-job retry budget.
+	RetryLimit int
+	// Workers bounds planning parallelism (PR-1 worker pool); results
+	// are identical for any worker count.
+	Workers int
+	// MemberWorkload supplies the dataset of member i; nil derives a
+	// reduced-scale synthetic workload from Seed+i.
+	MemberWorkload func(i int) workflow.Workload
+}
+
+// memberWorkload returns the dataset for member i.
+func (e *EnsembleExperiment) memberWorkload(i int) workflow.Workload {
+	if e.MemberWorkload != nil {
+		return e.MemberWorkload(i)
+	}
+	// A reduced-scale cousin of the paper workload: same rank-size law,
+	// ~20x fewer clusters, so an 8-member ensemble stays cheap to
+	// simulate while keeping the heavy-tailed chunk-work distribution.
+	return workflow.CustomWorkload(workflow.WorkloadParams{
+		NumClusters:    2000,
+		MaxClusterSize: 200,
+		SizeExponent:   0.5,
+		MeanReadLen:    1200,
+	}, e.Seed+uint64(i))
+}
+
+// Sources builds the member abstract workflows. Members are admitted in
+// index order; earlier members get higher ensemble priority (the Pegasus
+// Ensemble Manager's priority knob).
+func (e *EnsembleExperiment) Sources() ([]ensemble.WorkflowSource, error) {
+	if e.Workflows <= 0 {
+		return nil, fmt.Errorf("core: non-positive ensemble size %d", e.Workflows)
+	}
+	if e.N <= 0 {
+		return nil, fmt.Errorf("core: non-positive chunk count %d", e.N)
+	}
+	srcs := make([]ensemble.WorkflowSource, e.Workflows)
+	err := pool.ForEach(e.Workers, e.Workflows, func(i int) error {
+		abstract, err := workflow.BuildDAX(workflow.BuilderConfig{
+			N:        e.N,
+			Workload: e.memberWorkload(i),
+		})
+		if err != nil {
+			return err
+		}
+		abstract.Name = fmt.Sprintf("%s-wf%02d", abstract.Name, i)
+		srcs[i] = ensemble.WorkflowSource{
+			Name:       fmt.Sprintf("wf%02d", i),
+			Abstract:   abstract,
+			Priority:   e.Workflows - i,
+			RetryLimit: e.RetryLimit,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srcs, nil
+}
+
+// Run plans all members across the worker pool and executes the ensemble.
+func (e *EnsembleExperiment) Run() (*ensemble.Result, *stats.EnsembleReport, error) {
+	srcs, err := e.Sources()
+	if err != nil {
+		return nil, nil, err
+	}
+	specs, err := ensemble.PlanAll(srcs, e.Catalogs, ensemble.PlanOptions{
+		Sites:      e.Sites,
+		Policy:     e.Policy,
+		AddStageIn: true,
+		Workers:    e.Workers,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := platform.NewMultiExecutor(e.Platforms)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := ensemble.Run(p, specs, ensemble.Options{MaxInFlight: e.MaxInFlight})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Report(e.Policy), nil
+}
+
+// PaperEnsemble builds an ensemble experiment over the paper's two-site
+// world (Sandhills + OSG), with platform models scaled by the catalogs'
+// slot counts.
+func PaperEnsemble(seed uint64, workflows, n int, policy string) (*EnsembleExperiment, error) {
+	e := DefaultExperiment(seed)
+	cats, err := workflow.PaperCatalogs(e.Workload, e.SandhillsSlots, e.OSGSlots)
+	if err != nil {
+		return nil, err
+	}
+	sand := platform.Sandhills(seed)
+	sand.Slots = e.SandhillsSlots
+	osg := platform.OSG(seed)
+	osg.Slots = e.OSGSlots
+	return &EnsembleExperiment{
+		Seed:        seed,
+		Workflows:   workflows,
+		N:           n,
+		Policy:      policy,
+		Sites:       []string{"sandhills", "osg"},
+		Platforms:   []platform.Config{sand, osg},
+		Catalogs:    cats,
+		MaxInFlight: 0,
+		RetryLimit:  e.RetryLimit,
+	}, nil
+}
+
+// HeteroBenchEnsemble is the policy benchmark fixture: a "fast" site with
+// preinstalled software and a "slow" site whose nodes run 3x slower and
+// must download a 150 MB stack per job. Round-robin spreads work evenly
+// and pays the slow site's penalty on half the jobs; a data- or
+// runtime-aware policy should beat it.
+func HeteroBenchEnsemble(seed uint64, workflows, n int, policy string) (*EnsembleExperiment, error) {
+	cats := planner.Catalogs{
+		Sites:           catalog.NewSiteCatalog(),
+		Transformations: catalog.NewTransformationCatalog(),
+		Replicas:        catalog.NewReplicaCatalog(),
+	}
+	if err := cats.Sites.Add(&catalog.Site{
+		Name: "fast", Arch: "x86_64", OS: "linux",
+		Slots: 32, SpeedFactor: 1.0,
+		SharedSoftware: true, StageInMBps: 200,
+	}); err != nil {
+		return nil, err
+	}
+	if err := cats.Sites.Add(&catalog.Site{
+		Name: "slow", Arch: "x86_64", OS: "linux",
+		Slots: 32, SpeedFactor: 3.0, Heterogeneous: true,
+		SharedSoftware: false, StageInMBps: 20,
+	}); err != nil {
+		return nil, err
+	}
+	for _, name := range workflow.Transformations() {
+		if err := cats.Transformations.Add(&catalog.Transformation{
+			Name: name, Site: "fast", PFN: "/opt/blast2cap3/" + name, Installed: true,
+		}); err != nil {
+			return nil, err
+		}
+		if err := cats.Transformations.Add(&catalog.Transformation{
+			Name: name, Site: "slow", PFN: name + ".tar.gz",
+			Installed: false, InstallBytes: 150 << 20,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, lfn := range []string{"transcripts.fasta", "alignments.out"} {
+		if err := cats.Replicas.Add(lfn, catalog.Replica{Site: "local", PFN: "/work/data/" + lfn}); err != nil {
+			return nil, err
+		}
+	}
+	return &EnsembleExperiment{
+		Seed:      seed,
+		Workflows: workflows,
+		N:         n,
+		Policy:    policy,
+		Sites:     []string{"fast", "slow"},
+		Platforms: []platform.Config{
+			{
+				Name: "fast", Slots: 32, SubmitInterval: 0.2,
+				DispatchMean: 5, DispatchCV: 0.3,
+				SpeedFactor: 1.0, SpeedJitter: 0.05,
+				Seed: seed,
+			},
+			{
+				Name: "slow", Slots: 32, SubmitInterval: 0.3,
+				DispatchMean: 60, DispatchCV: 0.8,
+				SpeedFactor: 3.0, SpeedJitter: 0.2,
+				SetupMean: 120, SetupCV: 0.5, SetupBytesPerSec: 5e6,
+				Seed: seed,
+			},
+		},
+		Catalogs:   cats,
+		RetryLimit: 3,
+	}, nil
+}
+
+// PolicyStats summarizes one policy over a multi-seed ensemble sweep.
+type PolicyStats struct {
+	// Policy is the site-selection policy name.
+	Policy string
+	// Runs is the number of seeds aggregated.
+	Runs int
+	// MeanMakespan, MinMakespan and MaxMakespan summarize ensemble wall
+	// times across seeds.
+	MeanMakespan, MinMakespan, MaxMakespan float64
+	// MeanWorkflowMakespan averages member completion times across
+	// seeds and members.
+	MeanWorkflowMakespan float64
+	// TotalRetries and TotalEvictions sum across seeds.
+	TotalRetries, TotalEvictions int
+}
+
+// ComparePolicies runs `runs` seeded ensembles per policy over the PR-1
+// worker pool and aggregates — the Monte Carlo comparison of
+// site-selection policies. build constructs the experiment for one
+// (seed, policy) cell; the sweep forces per-cell Workers to 1 since the
+// grid itself is parallel. Output is identical for any worker count.
+func ComparePolicies(baseSeed uint64, runs int, policies []string, workers int,
+	build func(seed uint64, policy string) (*EnsembleExperiment, error)) ([]PolicyStats, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("core: non-positive run count %d", runs)
+	}
+	if len(policies) == 0 {
+		policies = planner.PolicyNames()
+	}
+	type cell struct {
+		report *stats.EnsembleReport
+	}
+	cells := make([]cell, len(policies)*runs)
+	err := pool.ForEach(workers, len(cells), func(i int) error {
+		pi, rep := i/runs, i%runs
+		e, err := build(baseSeed+uint64(rep), policies[pi])
+		if err != nil {
+			return err
+		}
+		e.Workers = 1
+		_, report, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("core: policy %s seed %d: %w", policies[pi], baseSeed+uint64(rep), err)
+		}
+		cells[i] = cell{report: report}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]PolicyStats, len(policies))
+	for pi, policy := range policies {
+		ps := PolicyStats{Policy: policy, Runs: runs, MinMakespan: math.Inf(1)}
+		var sum, wfSum float64
+		for rep := 0; rep < runs; rep++ {
+			r := cells[pi*runs+rep].report
+			sum += r.Makespan
+			wfSum += r.MeanWorkflowMakespan
+			if r.Makespan < ps.MinMakespan {
+				ps.MinMakespan = r.Makespan
+			}
+			if r.Makespan > ps.MaxMakespan {
+				ps.MaxMakespan = r.Makespan
+			}
+			ps.TotalRetries += r.TotalRetries
+			ps.TotalEvictions += r.TotalEvictions
+		}
+		ps.MeanMakespan = sum / float64(runs)
+		ps.MeanWorkflowMakespan = wfSum / float64(runs)
+		out[pi] = ps
+	}
+	return out, nil
+}

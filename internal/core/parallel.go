@@ -10,69 +10,16 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
-	"sync/atomic"
+
+	"pegflow/internal/pool"
 )
 
-// forEachTask runs fn(0) … fn(n-1) across a pool of at most `workers`
-// goroutines (workers <= 0 means runtime.NumCPU()). It waits for all
-// started tasks, and returns the error of the lowest-numbered failed task.
-// After the first failure no new tasks are started, but fn is otherwise
-// invoked exactly once per index; callers write results into index i of a
-// pre-sized slice, which keeps collection race-free and ordering
-// deterministic without a mutex.
+// forEachTask runs fn(0) … fn(n-1) across a bounded worker pool — see
+// pool.ForEach, which it delegates to (the pool moved to its own package
+// so the ensemble planner can reuse it without importing core).
 func forEachTask(workers, n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-
-		mu       sync.Mutex
-		firstIdx = -1
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if firstIdx < 0 || i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return pool.ForEach(workers, n, fn)
 }
 
 // SweepOptions configures a Monte Carlo sweep.

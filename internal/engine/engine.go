@@ -155,7 +155,6 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 
 	attempts := make(map[string]int, len(order))
 	done := make(map[string]bool, len(order))
-	failed := make(map[string]bool)
 	inflight := 0
 
 	submit := func() {
@@ -198,7 +197,6 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 				heap.Push(ready, &readyItem{job: plan.Job(ev.JobID), seq: seq})
 				seq++
 			} else {
-				failed[ev.JobID] = true
 				res.PermanentlyFailed = append(res.PermanentlyFailed, ev.JobID)
 			}
 		default:

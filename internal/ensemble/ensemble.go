@@ -1,0 +1,394 @@
+// Package ensemble runs many workflows concurrently against a shared pool
+// of simulated platforms — the role of the Pegasus Ensemble Manager. Each
+// member workflow is driven by the ordinary meta-scheduler (engine.Run);
+// the ensemble adds a global in-flight throttle across members and
+// per-workflow priorities that decide which held job reaches the platform
+// pool first when capacity frees up.
+//
+// Execution is deterministic: member engines run as coroutines that are
+// resumed one at a time by a single driver, so for a fixed seed the
+// interleaving — and therefore every statistic — is bit-identical across
+// runs regardless of how many OS threads or planning workers are used.
+package ensemble
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pegflow/internal/dax"
+	"pegflow/internal/engine"
+	"pegflow/internal/planner"
+	"pegflow/internal/pool"
+	"pegflow/internal/sim/platform"
+	"pegflow/internal/stats"
+)
+
+// Spec is one ensemble member: a planned workflow plus its scheduling
+// parameters.
+type Spec struct {
+	// Name labels the workflow in reports. Names must be distinct.
+	Name string
+	// Plan is the executable (possibly multi-site) workflow.
+	Plan *planner.Plan
+	// Priority orders held jobs across members when the global throttle
+	// is saturated; higher releases first.
+	Priority int
+	// RetryLimit is the per-job retry budget (engine.Options.RetryLimit).
+	RetryLimit int
+	// MaxActive caps this member's own jobs in flight (0 = unlimited).
+	MaxActive int
+}
+
+// Options tunes the ensemble driver.
+type Options struct {
+	// MaxInFlight caps jobs submitted to the platform pool across all
+	// members (0 = unlimited) — the ensemble-manager counterpart of
+	// DAGMan's maxjobs.
+	MaxInFlight int
+}
+
+// WorkflowResult pairs a member with its engine outcome.
+type WorkflowResult struct {
+	// Name and Priority echo the spec.
+	Name     string
+	Priority int
+	// Result is the engine outcome. Makespans are in ensemble virtual
+	// time; since every member is admitted at time zero, a member's
+	// makespan is its completion time.
+	Result *engine.Result
+}
+
+// SiteUsage summarizes one platform of the pool after the run.
+type SiteUsage struct {
+	// Site is the platform name.
+	Site string
+	// Slots is the configured slot count.
+	Slots int
+	// MaxBusySlots is the high-water mark of concurrently busy slots.
+	MaxBusySlots int
+	// BusySlotSeconds and CapacitySlotSeconds integrate occupancy and
+	// capacity over virtual time.
+	BusySlotSeconds, CapacitySlotSeconds float64
+}
+
+// Result is the outcome of one ensemble run.
+type Result struct {
+	// Makespan is the ensemble wall time: the time of the last event.
+	Makespan float64
+	// Workflows lists member results in admission order.
+	Workflows []WorkflowResult
+	// Sites lists per-site usage, sorted by site name.
+	Sites []SiteUsage
+}
+
+// Report renders the result as a stats.EnsembleReport under the given
+// policy label.
+func (r *Result) Report(policy string) *stats.EnsembleReport {
+	rep := &stats.EnsembleReport{Policy: policy, Makespan: r.Makespan}
+	for _, s := range r.Sites {
+		util := 0.0
+		if s.CapacitySlotSeconds > 0 {
+			util = s.BusySlotSeconds / s.CapacitySlotSeconds
+		}
+		rep.Sites = append(rep.Sites, stats.EnsembleSite{
+			Site:            s.Site,
+			Slots:           s.Slots,
+			MaxBusySlots:    s.MaxBusySlots,
+			BusySlotSeconds: s.BusySlotSeconds,
+			Utilization:     util,
+		})
+	}
+	var sum float64
+	for _, w := range r.Workflows {
+		res := w.Result
+		rep.Workflows = append(rep.Workflows, stats.EnsembleWorkflow{
+			Name:      w.Name,
+			Priority:  w.Priority,
+			Success:   res.Success,
+			Makespan:  res.Makespan,
+			Jobs:      len(res.Completed) + len(res.Unfinished),
+			Attempts:  res.Log.Len(),
+			Retries:   res.Retries,
+			Evictions: res.Evictions,
+		})
+		sum += res.Makespan
+		rep.TotalRetries += res.Retries
+		rep.TotalEvictions += res.Evictions
+	}
+	if len(r.Workflows) > 0 {
+		rep.MeanWorkflowMakespan = sum / float64(len(r.Workflows))
+	}
+	return rep
+}
+
+// WorkflowSource is an unplanned ensemble member for PlanAll.
+type WorkflowSource struct {
+	// Name labels the workflow.
+	Name string
+	// Abstract is the workflow to plan.
+	Abstract *dax.Workflow
+	// Priority, RetryLimit and MaxActive carry over to the Spec.
+	Priority, RetryLimit, MaxActive int
+}
+
+// PlanOptions configures PlanAll.
+type PlanOptions struct {
+	// Sites are the target sites for every member.
+	Sites []string
+	// Policy is the site-selection policy name (planner.PolicyNames).
+	Policy string
+	// AddStageIn synthesizes per-site stage-in jobs for external inputs
+	// (requires replicas to be registered for them).
+	AddStageIn bool
+	// Workers bounds planning parallelism (<= 0 means all CPUs).
+	Workers int
+}
+
+// PlanAll maps every source onto the target sites under a fresh instance
+// of the named policy, fanning the independent planning runs across the
+// shared worker pool. Results are identical for any worker count: each
+// member gets its own policy state, so plans do not depend on planning
+// order.
+func PlanAll(srcs []WorkflowSource, cats planner.Catalogs, opts PlanOptions) ([]Spec, error) {
+	specs := make([]Spec, len(srcs))
+	err := pool.ForEach(opts.Workers, len(srcs), func(i int) error {
+		pol, err := planner.NewPolicy(opts.Policy)
+		if err != nil {
+			return err
+		}
+		p, err := planner.NewMulti(srcs[i].Abstract, cats, planner.MultiOptions{
+			Sites:      opts.Sites,
+			Policy:     pol,
+			AddStageIn: opts.AddStageIn,
+		})
+		if err != nil {
+			return fmt.Errorf("ensemble: planning %q: %w", srcs[i].Name, err)
+		}
+		specs[i] = Spec{
+			Name:       srcs[i].Name,
+			Plan:       p,
+			Priority:   srcs[i].Priority,
+			RetryLimit: srcs[i].RetryLimit,
+			MaxActive:  srcs[i].MaxActive,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// tagged is a platform event attributed to a member workflow.
+type tagged struct {
+	wf int
+	ev engine.Event
+}
+
+// ctrl is a message from a member goroutine to the driver: either a yield
+// (parked in Next, waiting for an event) or completion.
+type ctrl struct {
+	wf       int
+	finished bool
+	res      *engine.Result
+	err      error
+}
+
+// held is a submission waiting for global in-flight capacity.
+type held struct {
+	wf      int
+	job     *planner.Job
+	attempt int
+	prio    int
+	seq     int
+}
+
+// holdQueue orders held submissions by member priority (higher first),
+// breaking ties by submission sequence (FIFO).
+type holdQueue []*held
+
+func (q holdQueue) Len() int { return len(q) }
+func (q holdQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q holdQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *holdQueue) Push(x any)   { *q = append(*q, x.(*held)) }
+func (q *holdQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// driver owns all shared ensemble state. The cooperative hand-off protocol
+// guarantees at most one goroutine (the driver or exactly one member)
+// touches it at a time: a member runs only between the driver's mailbox
+// send and the member's next control send, during which the driver is
+// blocked receiving.
+type driver struct {
+	pool    *platform.MultiExecutor
+	specs   []Spec
+	opts    Options
+	control chan ctrl
+	mailbox []chan engine.Event
+	done    []bool
+
+	queue    []tagged
+	hold     holdQueue
+	inflight int
+	seq      int
+}
+
+// facade adapts the driver to engine.Executor for one member.
+type facade struct {
+	d  *driver
+	wf int
+}
+
+func (f *facade) Submit(job *planner.Job, attempt int) { f.d.submit(f.wf, job, attempt) }
+
+func (f *facade) Next() engine.Event {
+	f.d.control <- ctrl{wf: f.wf}
+	return <-f.d.mailbox[f.wf]
+}
+
+func (f *facade) Now() float64 { return f.d.pool.Now() }
+
+// submit holds the job and releases as much held work as global capacity
+// allows.
+func (d *driver) submit(wf int, job *planner.Job, attempt int) {
+	heap.Push(&d.hold, &held{wf: wf, job: job, attempt: attempt, prio: d.specs[wf].Priority, seq: d.seq})
+	d.seq++
+	d.release()
+}
+
+// release submits held jobs to the platform pool while the global
+// in-flight cap permits, highest member priority first.
+func (d *driver) release() {
+	for d.hold.Len() > 0 && (d.opts.MaxInFlight == 0 || d.inflight < d.opts.MaxInFlight) {
+		h := heap.Pop(&d.hold).(*held)
+		wf := h.wf
+		d.pool.SubmitTagged(h.job, h.attempt, func(ev engine.Event) {
+			d.queue = append(d.queue, tagged{wf: wf, ev: ev})
+		})
+		d.inflight++
+	}
+}
+
+// Run executes the ensemble on the shared platform pool. Members are
+// admitted in spec order at virtual time zero.
+func Run(p *platform.MultiExecutor, specs []Spec, opts Options) (*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("ensemble: no workflows")
+	}
+	names := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("ensemble: workflow with empty name")
+		}
+		if names[s.Name] {
+			return nil, fmt.Errorf("ensemble: duplicate workflow name %q", s.Name)
+		}
+		names[s.Name] = true
+		if err := p.CheckPlan(s.Plan); err != nil {
+			return nil, fmt.Errorf("ensemble: workflow %q: %w", s.Name, err)
+		}
+	}
+	if opts.MaxInFlight < 0 {
+		return nil, fmt.Errorf("ensemble: negative MaxInFlight %d", opts.MaxInFlight)
+	}
+
+	d := &driver{
+		pool:    p,
+		specs:   specs,
+		opts:    opts,
+		control: make(chan ctrl),
+		mailbox: make([]chan engine.Event, len(specs)),
+		done:    make([]bool, len(specs)),
+	}
+	results := make([]*engine.Result, len(specs))
+	errs := make([]error, len(specs))
+	active := 0
+
+	finish := func(msg ctrl) {
+		d.done[msg.wf] = true
+		results[msg.wf] = msg.res
+		errs[msg.wf] = msg.err
+	}
+
+	// Admit members one at a time: start the goroutine, then wait until
+	// it parks in Next (or finishes), so exactly one goroutine is ever
+	// runnable and the interleaving is fully deterministic.
+	for w := range specs {
+		d.mailbox[w] = make(chan engine.Event)
+		w := w
+		go func() {
+			res, err := engine.Run(specs[w].Plan, &facade{d: d, wf: w}, engine.Options{
+				RetryLimit: specs[w].RetryLimit,
+				MaxActive:  specs[w].MaxActive,
+			})
+			d.control <- ctrl{wf: w, finished: true, res: res, err: err}
+		}()
+		msg := <-d.control
+		if msg.finished {
+			finish(msg)
+		} else {
+			active++
+		}
+	}
+
+	for active > 0 {
+		if len(d.queue) == 0 {
+			if !d.pool.Step() {
+				return nil, fmt.Errorf("ensemble: deadlock: %d workflows active with no platform events", active)
+			}
+			continue
+		}
+		te := d.queue[0]
+		d.queue = d.queue[1:]
+		d.inflight--
+		d.release()
+		if d.done[te.wf] {
+			// The member engine already returned (failed run); its
+			// straggler events are dropped.
+			continue
+		}
+		d.mailbox[te.wf] <- te.ev
+		msg := <-d.control
+		if msg.finished {
+			finish(msg)
+			active--
+		}
+	}
+
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: workflow %q: %w", specs[w].Name, err)
+		}
+	}
+
+	out := &Result{Makespan: p.Now()}
+	for w, s := range specs {
+		out.Workflows = append(out.Workflows, WorkflowResult{
+			Name:     s.Name,
+			Priority: s.Priority,
+			Result:   results[w],
+		})
+	}
+	for _, name := range p.SiteNames() {
+		site := p.Site(name)
+		out.Sites = append(out.Sites, SiteUsage{
+			Site:                name,
+			Slots:               site.Config().Slots,
+			MaxBusySlots:        site.MaxBusySlots(),
+			BusySlotSeconds:     site.BusySlotSeconds(),
+			CapacitySlotSeconds: site.CapacitySlotSeconds(),
+		})
+	}
+	return out, nil
+}

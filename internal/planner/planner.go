@@ -64,9 +64,14 @@ type Plan struct {
 	Graph *dax.Workflow
 	// Info maps executable job ID to its planning attributes.
 	Info map[string]*Job
-	// Site is the execution site name.
+	// Site is the execution site name. For multi-site plans (NewMulti) it
+	// is the comma-joined site list; per-job sites live in Info.
 	Site string
-	// SiteEntry is the resolved site catalog entry.
+	// Sites lists the target sites of a multi-site plan, in the order
+	// given to NewMulti. It is nil for single-site plans.
+	Sites []string
+	// SiteEntry is the resolved site catalog entry. It is nil for
+	// multi-site plans, whose jobs resolve sites individually.
 	SiteEntry *catalog.Site
 }
 
@@ -153,33 +158,11 @@ func New(abstract *dax.Workflow, cats Catalogs, opts Options) (*Plan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("planner: job %q: %w", aj.ID, err)
 		}
-		pj := &Job{
-			ID:             aj.ID,
-			Transformation: aj.Transformation,
-			Args:           aj.Args,
-			Site:           opts.Site,
-			Priority:       aj.Priority,
+		pj, err := jobAttributes(aj)
+		if err != nil {
+			return nil, err
 		}
-		if rt := aj.Profile("pegasus", "runtime"); rt != "" {
-			v, err := strconv.ParseFloat(rt, 64)
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("planner: job %q: bad pegasus::runtime %q", aj.ID, rt)
-			}
-			pj.ExecSeconds = v
-		}
-		if nt := aj.Profile("pegasus", "clustered_tasks"); nt != "" {
-			count, err := strconv.Atoi(nt)
-			if err != nil || count < 1 {
-				return nil, fmt.Errorf("planner: job %q: bad clustered_tasks %q", aj.ID, nt)
-			}
-			for i := 0; i < count; i++ {
-				tid := aj.Profile("pegasus", fmt.Sprintf("task_%03d", i))
-				if tid == "" {
-					return nil, fmt.Errorf("planner: job %q: missing task_%03d profile", aj.ID, i)
-				}
-				pj.Tasks = append(pj.Tasks, tid)
-			}
-		}
+		pj.Site = opts.Site
 		if !tc.Installed {
 			if site.SharedSoftware {
 				return nil, fmt.Errorf(
@@ -188,13 +171,6 @@ func New(abstract *dax.Workflow, cats Catalogs, opts Options) (*Plan, error) {
 			}
 			pj.NeedsInstall = true
 			pj.InstallBytes = tc.InstallBytes
-		}
-		for _, u := range aj.Uses {
-			if u.Link == dax.LinkInput {
-				pj.InputBytes += u.Size
-			} else {
-				pj.OutputBytes += u.Size
-			}
 		}
 		gj := &dax.Job{ID: aj.ID, Transformation: aj.Transformation, Uses: aj.Uses, Priority: aj.Priority}
 		if err := plan.Graph.AddJob(gj); err != nil {
@@ -220,6 +196,48 @@ func New(abstract *dax.Workflow, cats Catalogs, opts Options) (*Plan, error) {
 		return nil, fmt.Errorf("planner: executable workflow broken: %w", err)
 	}
 	return plan, nil
+}
+
+// jobAttributes converts an abstract job into a planned job with its
+// site-independent attributes: the pegasus::runtime estimate, the folded
+// task list of clustered jobs, and the declared input/output byte totals.
+// The caller fills in the site-dependent fields (Site, NeedsInstall,
+// InstallBytes).
+func jobAttributes(aj *dax.Job) (*Job, error) {
+	pj := &Job{
+		ID:             aj.ID,
+		Transformation: aj.Transformation,
+		Args:           aj.Args,
+		Priority:       aj.Priority,
+	}
+	if rt := aj.Profile("pegasus", "runtime"); rt != "" {
+		v, err := strconv.ParseFloat(rt, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("planner: job %q: bad pegasus::runtime %q", aj.ID, rt)
+		}
+		pj.ExecSeconds = v
+	}
+	if nt := aj.Profile("pegasus", "clustered_tasks"); nt != "" {
+		count, err := strconv.Atoi(nt)
+		if err != nil || count < 1 {
+			return nil, fmt.Errorf("planner: job %q: bad clustered_tasks %q", aj.ID, nt)
+		}
+		for i := 0; i < count; i++ {
+			tid := aj.Profile("pegasus", fmt.Sprintf("task_%03d", i))
+			if tid == "" {
+				return nil, fmt.Errorf("planner: job %q: missing task_%03d profile", aj.ID, i)
+			}
+			pj.Tasks = append(pj.Tasks, tid)
+		}
+	}
+	for _, u := range aj.Uses {
+		if u.Link == dax.LinkInput {
+			pj.InputBytes += u.Size
+		} else {
+			pj.OutputBytes += u.Size
+		}
+	}
+	return pj, nil
 }
 
 // addStageIn synthesizes a single stage_in job transferring every external
@@ -270,15 +288,11 @@ func addStageIn(plan *Plan, work *dax.Workflow, cats Catalogs) error {
 	if err := plan.Graph.AddJob(gj); err != nil {
 		return err
 	}
-	mbps := plan.SiteEntry.StageInMBps
-	if mbps <= 0 {
-		mbps = 100
-	}
 	plan.Info[id] = &Job{
 		ID:             id,
 		Transformation: StageInTransformation,
 		Site:           plan.Site,
-		ExecSeconds:    float64(totalBytes) / (mbps * 1e6),
+		ExecSeconds:    float64(totalBytes) / (stageInMBps(plan.SiteEntry) * 1e6),
 		OutputBytes:    totalBytes,
 		// Stage-in runs on the submit side; it never needs installs
 		// and gets top priority so transfers start immediately.

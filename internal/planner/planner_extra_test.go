@@ -135,6 +135,179 @@ func TestPropertyClusteringInvariants(t *testing.T) {
 	}
 }
 
+// taskOwners maps every abstract task to the executable job that carries
+// it (clustered jobs own their Tasks; plain jobs own themselves).
+func taskOwners(t *testing.T, p *Plan) map[string]string {
+	t.Helper()
+	owner := make(map[string]string)
+	for _, j := range p.Jobs() {
+		if j.Transformation == StageInTransformation {
+			continue
+		}
+		tasks := j.Tasks
+		if len(tasks) == 0 {
+			tasks = []string{j.ID}
+		}
+		for _, task := range tasks {
+			if prev, dup := owner[task]; dup {
+				t.Errorf("task %q owned by both %q and %q", task, prev, j.ID)
+			}
+			owner[task] = j.ID
+		}
+	}
+	return owner
+}
+
+// checkPlanInvariants asserts the planning properties the ISSUE names:
+// every abstract task appears in exactly one executable job, dependencies
+// are never inverted, and every job lands on a site where its
+// transformation resolves.
+func checkPlanInvariants(t *testing.T, abstract *dax.Workflow, p *Plan, cats Catalogs) {
+	t.Helper()
+	owner := taskOwners(t, p)
+	for _, aj := range abstract.Jobs() {
+		if _, ok := owner[aj.ID]; !ok {
+			t.Errorf("abstract task %q missing from the plan", aj.ID)
+		}
+	}
+	if len(owner) != abstract.Len() {
+		t.Errorf("plan carries %d tasks, abstract has %d", len(owner), abstract.Len())
+	}
+
+	// Dependencies are never inverted: for every abstract edge, the
+	// owners are the same executable job or ordered by a plan edge.
+	pos := make(map[string]int)
+	order, err := p.Graph.TopoSort()
+	if err != nil {
+		t.Fatalf("plan not acyclic: %v", err)
+	}
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, aj := range abstract.Jobs() {
+		for _, parent := range abstract.Parents(aj.ID) {
+			po, co := owner[parent], owner[aj.ID]
+			if po == co {
+				continue
+			}
+			if pos[po] >= pos[co] {
+				t.Errorf("dependency %q -> %q inverted: owner %q at %d, %q at %d",
+					parent, aj.ID, po, pos[po], co, pos[co])
+			}
+			found := false
+			for _, c := range p.Graph.Children(po) {
+				if c == co {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no plan edge for abstract dependency %q -> %q (owners %q -> %q)",
+					parent, aj.ID, po, co)
+			}
+		}
+	}
+
+	// Every job resolves at its site; installs only where allowed.
+	for _, j := range p.Jobs() {
+		if j.Transformation == StageInTransformation {
+			continue
+		}
+		tc, err := cats.Transformations.Lookup(j.Transformation, j.Site)
+		if err != nil {
+			t.Errorf("job %q: transformation %q does not resolve at its site %q",
+				j.ID, j.Transformation, j.Site)
+			continue
+		}
+		site, err := cats.Sites.Lookup(j.Site)
+		if err != nil {
+			t.Errorf("job %q: unknown site %q", j.ID, j.Site)
+			continue
+		}
+		if j.NeedsInstall != !tc.Installed {
+			t.Errorf("job %q at %q: NeedsInstall = %v, catalog Installed = %v",
+				j.ID, j.Site, j.NeedsInstall, tc.Installed)
+		}
+		if j.NeedsInstall && site.SharedSoftware {
+			t.Errorf("job %q needs install at shared-software site %q", j.ID, j.Site)
+		}
+	}
+}
+
+// Property: single-site planning with clustering preserves the task set,
+// dependency order and site resolution for any fan width and cluster size.
+func TestPropertySingleSitePlanInvariants(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	f := func(widthRaw, sizeRaw uint8, osg bool) bool {
+		width := int(widthRaw%40) + 1
+		size := int(sizeRaw%8) + 1
+		site := "sandhills"
+		if osg {
+			site = "osg"
+		}
+		w := fanWorkflowQuick(width)
+		p, err := New(w, cats, Options{
+			Site: site, ClusterSize: size,
+			ClusterTransformations: []string{"run_cap3"},
+		})
+		if err != nil {
+			return false
+		}
+		checkPlanInvariants(t, w, p, cats)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multi-site planning keeps the same invariants for every
+// policy, site-set permutation and cluster size, and only ever assigns
+// jobs to the declared target sites.
+func TestPropertyMultiSitePlanInvariants(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	siteSets := [][]string{
+		{"sandhills"},
+		{"osg"},
+		{"sandhills", "osg"},
+		{"osg", "sandhills"},
+	}
+	f := func(widthRaw, sizeRaw, setRaw, polRaw uint8) bool {
+		width := int(widthRaw%30) + 1
+		size := int(sizeRaw % 6) // 0/1 disable clustering
+		sites := siteSets[int(setRaw)%len(siteSets)]
+		polName := PolicyNames()[int(polRaw)%len(PolicyNames())]
+		pol, err := NewPolicy(polName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := fanWorkflowQuick(width)
+		p, err := NewMulti(w, cats, MultiOptions{
+			Sites:                  sites,
+			Policy:                 pol,
+			ClusterSize:            size,
+			ClusterTransformations: []string{"run_cap3"},
+		})
+		if err != nil {
+			return false
+		}
+		checkPlanInvariants(t, w, p, cats)
+		allowed := make(map[string]bool, len(sites))
+		for _, s := range sites {
+			allowed[s] = true
+		}
+		for _, j := range p.Jobs() {
+			if !allowed[j.Site] {
+				t.Errorf("job %q landed on %q, outside target set %v", j.ID, j.Site, sites)
+			}
+		}
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // fanWorkflowQuick is fanWorkflow without *testing.T for property use.
 func fanWorkflowQuick(width int) *dax.Workflow {
 	w := dax.New("fan")

@@ -1,0 +1,70 @@
+// Package pool provides the bounded worker pool shared by the parallel
+// experiment harness (internal/core) and the ensemble planner
+// (internal/ensemble). Callers write results into index i of a pre-sized
+// slice, which keeps collection race-free and ordering deterministic
+// without a mutex: any worker count produces identical output.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0) … fn(n-1) across at most `workers` goroutines
+// (workers <= 0 means runtime.NumCPU()). It waits for all started tasks,
+// and returns the error of the lowest-numbered failed task. After the
+// first failure no new tasks are started, but fn is otherwise invoked
+// exactly once per index.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,64 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16, 100} {
+		const n = 37
+		var counts [n]atomic.Int32
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Error("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestFailedIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 50, func(i int) error {
+			if i == 7 || i == 30 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		// Indexes are claimed in order, so task 7 always runs; even if 30
+		// also fails, the reported error is the lowest-numbered failure.
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Errorf("workers=%d: err = %v, want task 7", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsStartingAfterFailure(t *testing.T) {
+	var started atomic.Int32
+	err := ForEach(1, 1000, func(i int) error {
+		started.Add(1)
+		if i == 3 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := started.Load(); got != 4 {
+		t.Errorf("serial run started %d tasks after failure at index 3, want 4", got)
+	}
+}

@@ -12,6 +12,12 @@ type Resource struct {
 	Grants uint64
 	// MaxInUse tracks the high-water mark of concurrently held units.
 	MaxInUse int
+
+	// lastAccount is the virtual time up to which the utilization
+	// integrals have been accumulated.
+	lastAccount Time
+	busySeconds float64
+	capSeconds  float64
 }
 
 type acquireReq struct {
@@ -43,6 +49,33 @@ func NewResource(sim *Simulation, capacity int) *Resource {
 	return &Resource{sim: sim, capacity: capacity}
 }
 
+// account integrates units-in-use and capacity over virtual time up to
+// now. It is called before every state change so the integrals are exact.
+func (r *Resource) account() {
+	now := r.sim.Now()
+	dt := float64(now - r.lastAccount)
+	if dt > 0 {
+		r.busySeconds += float64(r.inUse) * dt
+		r.capSeconds += float64(r.capacity) * dt
+	}
+	r.lastAccount = now
+}
+
+// BusySlotSeconds returns the time integral of units in use (slot·seconds
+// of occupancy) up to the current virtual time.
+func (r *Resource) BusySlotSeconds() float64 {
+	r.account()
+	return r.busySeconds
+}
+
+// CapacitySlotSeconds returns the time integral of capacity up to the
+// current virtual time — the denominator of a utilization ratio under
+// capacity ramps.
+func (r *Resource) CapacitySlotSeconds() float64 {
+	r.account()
+	return r.capSeconds
+}
+
 // Capacity returns the total number of units.
 func (r *Resource) Capacity() int { return r.capacity }
 
@@ -70,6 +103,7 @@ func (r *Resource) SetCapacity(c int) {
 	if c < 0 {
 		panic("des: negative resource capacity")
 	}
+	r.account()
 	r.capacity = c
 	r.dispatch()
 }
@@ -91,6 +125,7 @@ func (r *Resource) Release(n int) {
 	if n <= 0 {
 		panic("des: release of non-positive unit count")
 	}
+	r.account()
 	r.inUse -= n
 	if r.inUse < 0 {
 		panic("des: release of units never acquired")
@@ -112,6 +147,7 @@ func (r *Resource) dispatch() {
 			return
 		}
 		r.waiters = r.waiters[1:]
+		r.account()
 		r.inUse += head.n
 		if r.inUse > r.MaxInUse {
 			r.MaxInUse = r.inUse

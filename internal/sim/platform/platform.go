@@ -165,18 +165,34 @@ type Executor struct {
 	setup    *rng.Stream
 	evict    *rng.Stream
 
+	// emit delivers terminal events; by default it appends to pending,
+	// but a MultiExecutor routes it into a shared queue, and per-job
+	// overrides (SubmitTagged) let an ensemble driver demultiplex.
+	emit      func(engine.Event)
 	pending   []engine.Event
 	submitted int
 	nextFree  float64 // submit-host release time for the next submission
 	nodeSeq   int
 }
 
-// NewExecutor builds an executor for the platform configuration.
+// NewExecutor builds an executor for the platform configuration with its
+// own virtual clock.
 func NewExecutor(cfg Config) (*Executor, error) {
+	e, err := newExecutorOn(des.New(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.emit = func(ev engine.Event) { e.pending = append(e.pending, ev) }
+	return e, nil
+}
+
+// newExecutorOn builds an executor sharing the given simulation — the
+// building block of multi-site pools, where every site advances one common
+// virtual clock. The caller must set emit before submitting.
+func newExecutorOn(sim *des.Simulation, cfg Config) (*Executor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sim := des.New()
 	base := rng.New(cfg.Seed).Derive("platform/" + cfg.Name)
 	startSlots := cfg.Slots
 	ramp := cfg.InitialSlots > 0 && cfg.InitialSlots < cfg.Slots && cfg.SlotRampInterval > 0
@@ -209,8 +225,29 @@ func (e *Executor) Now() float64 { return e.sim.Now().Seconds() }
 // MaxBusySlots reports the high-water mark of concurrently busy slots.
 func (e *Executor) MaxBusySlots() int { return e.slots.MaxInUse }
 
+// BusySlotSeconds reports the slot·seconds of occupancy so far.
+func (e *Executor) BusySlotSeconds() float64 { return e.slots.BusySlotSeconds() }
+
+// CapacitySlotSeconds reports the slot·seconds of capacity so far
+// (accounting for opportunistic slot ramps).
+func (e *Executor) CapacitySlotSeconds() float64 { return e.slots.CapacitySlotSeconds() }
+
+// Config returns the platform configuration.
+func (e *Executor) Config() Config { return e.cfg }
+
 // Submit schedules the job attempt onto the platform.
 func (e *Executor) Submit(job *planner.Job, attempt int) {
+	e.submitWith(job, attempt, e.emit)
+}
+
+// SubmitTagged schedules the job attempt, delivering its terminal event
+// through emit instead of the executor's own queue. Ensemble drivers use
+// this to attribute events to the submitting workflow.
+func (e *Executor) SubmitTagged(job *planner.Job, attempt int, emit func(engine.Event)) {
+	e.submitWith(job, attempt, emit)
+}
+
+func (e *Executor) submitWith(job *planner.Job, attempt int, emit func(engine.Event)) {
 	now := e.Now()
 	// Serialize submissions through the submit host.
 	release := now
@@ -224,14 +261,14 @@ func (e *Executor) Submit(job *planner.Job, attempt int) {
 	delay := (release - now) + e.dispatch.LogNormalMeanCV(e.cfg.DispatchMean, e.cfg.DispatchCV)
 	e.sim.After(delay, func() {
 		e.slots.Acquire(1, func() {
-			e.runOnNode(job, attempt, submitTime)
+			e.runOnNode(job, attempt, submitTime, emit)
 		})
 	})
 }
 
 // runOnNode executes the setup and payload phases once a slot is granted,
 // racing them against the platform's preemption hazard.
-func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64) {
+func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, emit func(engine.Event)) {
 	setupStart := e.Now()
 	e.nodeSeq++
 	node := fmt.Sprintf("%s-node-%04d", e.cfg.Name, e.nodeSeq%e.cfg.Slots)
@@ -280,7 +317,7 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64) 
 			rec.Status = kickstart.StatusEvicted
 			rec.ExitMessage = "slot reclaimed by resource owner"
 			e.slots.Release(1)
-			e.pending = append(e.pending, engine.Event{
+			emit(engine.Event{
 				JobID: job.ID, Type: engine.EventEvicted, Time: end, Record: rec,
 			})
 		})
@@ -293,7 +330,7 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64) 
 		rec.EndTime = end
 		rec.Status = kickstart.StatusSuccess
 		e.slots.Release(1)
-		e.pending = append(e.pending, engine.Event{
+		emit(engine.Event{
 			JobID: job.ID, Type: engine.EventFinished, Time: end, Record: rec,
 		})
 	})

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// EnsembleWorkflow is the per-workflow row of an ensemble report.
+type EnsembleWorkflow struct {
+	// Name labels the workflow within the ensemble.
+	Name string `json:"name"`
+	// Priority is the ensemble-level scheduling priority.
+	Priority int `json:"priority"`
+	// Success reports whether every job completed.
+	Success bool `json:"success"`
+	// Makespan is the workflow's completion time in ensemble virtual
+	// seconds (all workflows are admitted at time zero).
+	Makespan float64 `json:"makespan_s"`
+	// Jobs is the number of jobs in the workflow's plan.
+	Jobs int `json:"jobs"`
+	// Attempts counts all job attempts including failures.
+	Attempts int `json:"attempts"`
+	// Retries counts re-submissions.
+	Retries int `json:"retries"`
+	// Evictions counts attempts ended by preemption.
+	Evictions int `json:"evictions"`
+}
+
+// EnsembleSite is the per-site utilization row of an ensemble report.
+type EnsembleSite struct {
+	// Site is the platform name.
+	Site string `json:"site"`
+	// Slots is the site's configured slot count.
+	Slots int `json:"slots"`
+	// MaxBusySlots is the high-water mark of concurrently busy slots.
+	MaxBusySlots int `json:"max_busy_slots"`
+	// BusySlotSeconds integrates busy slots over virtual time.
+	BusySlotSeconds float64 `json:"busy_slot_seconds"`
+	// Utilization is BusySlotSeconds over the site's capacity integral
+	// (accounting for opportunistic slot ramps), in [0, 1].
+	Utilization float64 `json:"utilization"`
+}
+
+// EnsembleReport aggregates one ensemble run — the pegasus-em-style view
+// of many workflows sharing a platform pool.
+type EnsembleReport struct {
+	// Policy names the site-selection policy the plans were built with.
+	Policy string `json:"policy"`
+	// Sites lists the platform pool, sorted by name.
+	Sites []EnsembleSite `json:"sites"`
+	// Workflows lists the ensemble members in admission order.
+	Workflows []EnsembleWorkflow `json:"workflows"`
+	// Makespan is the ensemble wall time: the time of the last event.
+	Makespan float64 `json:"makespan_s"`
+	// MeanWorkflowMakespan averages the member completion times.
+	MeanWorkflowMakespan float64 `json:"mean_workflow_makespan_s"`
+	// TotalRetries and TotalEvictions sum over members.
+	TotalRetries   int `json:"total_retries"`
+	TotalEvictions int `json:"total_evictions"`
+}
+
+// WriteJSON renders the report as deterministic indented JSON.
+func (r *EnsembleReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteEnsemble renders the report as a human-readable text block.
+func WriteEnsemble(w io.Writer, r *EnsembleReport) error {
+	fmt.Fprintf(w, "# Ensemble statistics (policy %s)\n", r.Policy)
+	fmt.Fprintf(w, "Ensemble Wall Time           : %12.1f s (%s)\n", r.Makespan, HMS(r.Makespan))
+	fmt.Fprintf(w, "Mean Workflow Makespan       : %12.1f s (%s)\n",
+		r.MeanWorkflowMakespan, HMS(r.MeanWorkflowMakespan))
+	fmt.Fprintf(w, "Workflows                    : %12d\n", len(r.Workflows))
+	fmt.Fprintf(w, "Total retries                : %12d\n", r.TotalRetries)
+	fmt.Fprintf(w, "Total evictions              : %12d\n", r.TotalEvictions)
+
+	fmt.Fprintln(w)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKFLOW\tPRIORITY\tSTATUS\tMAKESPAN(s)\tJOBS\tATTEMPTS\tRETRIES\tEVICTIONS")
+	for _, wf := range r.Workflows {
+		status := "ok"
+		if !wf.Success {
+			status = "INCOMPLETE"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%d\t%d\t%d\t%d\n",
+			wf.Name, wf.Priority, status, wf.Makespan, wf.Jobs, wf.Attempts, wf.Retries, wf.Evictions)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SITE\tSLOTS\tMAX BUSY\tBUSY SLOT·S\tUTILIZATION")
+	for _, s := range r.Sites {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.1f%%\n",
+			s.Site, s.Slots, s.MaxBusySlots, s.BusySlotSeconds, s.Utilization*100)
+	}
+	return tw.Flush()
+}
