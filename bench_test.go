@@ -21,6 +21,7 @@ import (
 	"pegflow/internal/bio/cap3"
 	"pegflow/internal/bio/datagen"
 	"pegflow/internal/core"
+	"pegflow/internal/planner"
 	"pegflow/internal/stats"
 	"pegflow/internal/workflow"
 )
@@ -202,6 +203,46 @@ func BenchmarkAblationSkew(b *testing.B) {
 				wall = r.WallTime()
 			}
 			b.ReportMetric(wall, "wall_s")
+		})
+	}
+}
+
+// BenchmarkClusterSweep regenerates the cluster-size sweep points behind
+// BENCH_cluster.json on the overhead-dominated platform: the paper
+// workload at fine decomposition on OSG, unclustered vs fixed-size
+// bundles vs runtime-aware packing. wall_s is the simulated makespan;
+// reduction_% is the cut vs the unclustered baseline.
+func BenchmarkClusterSweep(b *testing.B) {
+	configs := []struct {
+		name string
+		opts planner.ClusterOptions
+	}{
+		{"off", planner.ClusterOptions{}},
+		{"max4", planner.ClusterOptions{MaxTasksPerJob: 4}},
+		{"max8", planner.ClusterOptions{MaxTasksPerJob: 8}},
+		{"target1800s", planner.ClusterOptions{TargetJobSeconds: 1800}},
+	}
+	n := core.DefaultClusterSweepN
+	base := -1.0
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(fmt.Sprintf("osg/n=%d/%s", n, cfg.name), func(b *testing.B) {
+			e := core.DefaultExperiment(benchSeed)
+			var wall float64
+			for i := 0; i < b.N; i++ {
+				r, err := e.RunClustered("osg", n, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall = r.WallTime()
+			}
+			if !cfg.opts.Enabled() {
+				base = wall
+			}
+			b.ReportMetric(wall, "wall_s")
+			if base > 0 {
+				b.ReportMetric(100*stats.Reduction(base, wall), "reduction_%")
+			}
 		})
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"pegflow/internal/core"
+	"pegflow/internal/planner"
 	"pegflow/internal/stats"
 	"pegflow/internal/workflow"
 )
@@ -26,7 +27,9 @@ var workers = flag.Int("workers", runtime.NumCPU(),
 
 func main() {
 	seed := flag.Uint64("seed", 42, "experiment seed (42 is the canonical reproduction)")
-	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, seeds, ensemble, all")
+	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, seeds, ensemble, cluster, all")
+	benchOut := flag.String("bench-out", "",
+		"with -fig cluster (or all): also write the sweep as JSON to this file (e.g. BENCH_cluster.json)")
 	flag.Parse()
 
 	e := core.DefaultExperiment(*seed)
@@ -56,6 +59,10 @@ func main() {
 		if err := ensembleSweep(*seed); err != nil {
 			fatal(err)
 		}
+	case "cluster":
+		if err := clusterSweep(*seed, *benchOut); err != nil {
+			fatal(err)
+		}
 	case "all":
 		if err := fig4(e); err != nil {
 			fatal(err)
@@ -73,6 +80,9 @@ func main() {
 			fatal(err)
 		}
 		if err := ensembleSweep(*seed); err != nil {
+			fatal(err)
+		}
+		if err := clusterSweep(*seed, *benchOut); err != nil {
 			fatal(err)
 		}
 	default:
@@ -263,28 +273,95 @@ func seedsSweep(base uint64) error {
 
 // ensembleSweep compares site-selection policies for an 8-workflow
 // ensemble over 5 seeds on the heterogeneous bench fixture — the
-// multi-site/ensemble extension of the paper's platform comparison.
+// multi-site/ensemble extension of the paper's platform comparison — and
+// repeats the comparison with task clustering + cross-site failover
+// enabled (the scheduling subsystem's ensemble-level effect).
 func ensembleSweep(base uint64) error {
 	fmt.Println("== Ensemble: site-selection policies, 8 workflows x 2 sites, 5 seeds ==")
 	const runs = 5
-	comp, err := core.ComparePolicies(base, runs, nil, *workers,
-		func(seed uint64, policy string) (*core.EnsembleExperiment, error) {
-			return core.HeteroBenchEnsemble(seed, 8, 24, policy)
-		})
-	if err != nil {
-		return err
+	plain := func(seed uint64, policy string) (*core.EnsembleExperiment, error) {
+		return core.HeteroBenchEnsemble(seed, 8, 24, policy)
+	}
+	clustered := func(seed uint64, policy string) (*core.EnsembleExperiment, error) {
+		e, err := core.HeteroBenchEnsemble(seed, 8, 24, policy)
+		if err != nil {
+			return nil, err
+		}
+		e.Cluster = planner.ClusterOptions{MaxTasksPerJob: 4}
+		e.Failover = true
+		return e, nil
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "POLICY\tMEAN MAKESPAN (s)\tMIN\tMAX\tMEAN WF MAKESPAN (s)\tRETRIES\tEVICTIONS")
-	for _, ps := range comp {
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\n",
-			ps.Policy, ps.MeanMakespan, ps.MinMakespan, ps.MaxMakespan,
-			ps.MeanWorkflowMakespan, ps.TotalRetries, ps.TotalEvictions)
+	fmt.Fprintln(tw, "POLICY\tMEAN MAKESPAN (s)\tMIN\tMAX\tMEAN WF MAKESPAN (s)\tRETRIES\tEVICTIONS\tFAILOVERS")
+	for _, v := range []struct {
+		suffix string
+		build  func(uint64, string) (*core.EnsembleExperiment, error)
+	}{
+		{"", plain},
+		{" +cluster4/failover", clustered},
+	} {
+		comp, err := core.ComparePolicies(base, runs, nil, *workers, v.build)
+		if err != nil {
+			return err
+		}
+		for _, ps := range comp {
+			fmt.Fprintf(tw, "%s%s\t%.0f\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\n",
+				ps.Policy, v.suffix, ps.MeanMakespan, ps.MinMakespan, ps.MaxMakespan,
+				ps.MeanWorkflowMakespan, ps.TotalRetries, ps.TotalEvictions, ps.TotalFailovers)
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
 	fmt.Println()
+	return nil
+}
+
+// clusterSweep runs the cluster-size sweep — the new experiment axis the
+// clustering subsystem opens: at fine decomposition (n=2000, tasks well
+// beyond both slot pools), how much makespan does bundling tasks into
+// composite grid jobs buy on the overhead-dominated OSG vs the dedicated
+// campus cluster?
+func clusterSweep(seed uint64, benchOut string) error {
+	n := core.DefaultClusterSweepN
+	fmt.Printf("== Cluster-size sweep: n=%d, Sandhills vs OSG ==\n", n)
+	points, err := core.ClusterSweep(seed, n, nil, nil, *workers)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PLATFORM\tCLUSTERING\tGRID JOBS\tWALL TIME (s)\tREDUCTION\tWAIT/TASK (s)\tINSTALL/TASK (s)")
+	for _, p := range points {
+		label := "off"
+		switch {
+		case p.MaxTasksPerJob > 0:
+			label = fmt.Sprintf("max %d tasks", p.MaxTasksPerJob)
+		case p.TargetJobSeconds > 0:
+			label = fmt.Sprintf("target %.0f s", p.TargetJobSeconds)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.0f\t%+.1f%%\t%.0f\t%.0f\n",
+			p.Platform, label, p.GridJobs, p.Makespan, p.ReductionPct, p.MeanWaiting, p.MeanSetup)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+	if benchOut == "" {
+		return nil
+	}
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return err
+	}
+	bench := &core.ClusterBench{Experiment: "cluster-size-sweep", Seed: seed, N: n, Points: points}
+	if err := bench.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("cluster sweep written to %s\n\n", benchOut)
 	return nil
 }
 

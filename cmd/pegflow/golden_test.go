@@ -116,6 +116,40 @@ func TestGoldenEnsemble(t *testing.T) {
 	checkGolden(t, "ensemble_json", out)
 }
 
+func TestGoldenRunClusterFailover(t *testing.T) {
+	dax := daxFixture(t)
+	args := []string{
+		"-dax", dax, "-sites", "sandhills,osg", "-policy", "round-robin",
+		"-seed", "7", "-cluster", "3", "-failover",
+	}
+	out := captureStdout(t, cmdRun, args)
+	checkGolden(t, "run_cluster_failover_seed7", out)
+	// Fixed seed ⇒ byte-identical output with clustering and failover
+	// enabled.
+	if again := captureStdout(t, cmdRun, args); again != out {
+		t.Error("clustered+failover run is not deterministic across invocations")
+	}
+}
+
+func TestGoldenEnsembleClusterFailover(t *testing.T) {
+	args := []string{
+		"-workflows", "6", "-n", "8", "-sites", "sandhills,osg",
+		"-policy", "data-aware", "-seed", "42", "-cluster", "4", "-failover",
+	}
+	out := captureStdout(t, cmdEnsemble, args)
+	checkGolden(t, "ensemble_cluster_text", out)
+	jsonArgs := append(args, "-json")
+	one := captureStdout(t, cmdEnsemble, jsonArgs)
+	checkGolden(t, "ensemble_cluster_json", one)
+	// Byte-identical across repeated runs and planning worker counts.
+	if again := captureStdout(t, cmdEnsemble, jsonArgs); again != one {
+		t.Error("clustered+failover ensemble JSON not deterministic across invocations")
+	}
+	if many := captureStdout(t, cmdEnsemble, append(jsonArgs, "-workers", "8")); many != one {
+		t.Error("clustered+failover ensemble JSON depends on worker count")
+	}
+}
+
 // The ensemble report is byte-identical for any planning worker count —
 // the acceptance property, exercised through the CLI surface.
 func TestEnsembleJSONWorkerInvariance(t *testing.T) {

@@ -107,7 +107,9 @@ func cmdPlan(args []string) error {
 	sites := fs.String("sites", "", "comma-separated site set for multi-site planning (overrides -site)")
 	policy := fs.String("policy", planner.PolicyDataAware,
 		"site-selection policy for -sites: round-robin, data-aware or runtime-aware")
-	cluster := fs.Int("cluster", 0, "horizontal clustering factor for run_cap3 (0 = off)")
+	cluster := fs.Int("cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
+	clusterSeconds := fs.Float64("cluster-seconds", 0,
+		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,22 +120,29 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	plan, err := planFor(wf, *site, *sites, *policy, *cluster)
+	plan, _, err := planFor(wf, *site, *sites, *policy, *cluster, *clusterSeconds)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("planned workflow %q for site %q\n", plan.Graph.Name, plan.Site)
 	fmt.Printf("  jobs: %d   edges: %d   estimated serial work: %s\n",
 		plan.Graph.Len(), plan.Graph.Edges(), stats.HMS(plan.TotalExecSeconds()))
-	installs := 0
+	installs, composites, clusteredTasks := 0, 0, 0
 	perSite := make(map[string]int)
 	for _, j := range plan.Jobs() {
 		if j.NeedsInstall {
 			installs++
 		}
+		if len(j.Members) > 0 {
+			composites++
+			clusteredTasks += len(j.Members)
+		}
 		perSite[j.Site]++
 	}
 	fmt.Printf("  jobs with download/install step: %d\n", installs)
+	if composites > 0 {
+		fmt.Printf("  clustered jobs: %d (bundling %d tasks)\n", composites, clusteredTasks)
+	}
 	if len(plan.Sites) > 0 {
 		for _, s := range plan.Sites {
 			fmt.Printf("  jobs at %-12s: %d\n", s, perSite[s])
@@ -158,35 +167,41 @@ func splitSites(s string) []string {
 	return out
 }
 
-func planFor(wf *dax.Workflow, site, sites, policy string, cluster int) (*planner.Plan, error) {
+func planFor(wf *dax.Workflow, site, sites, policy string, cluster int, clusterSeconds float64) (*planner.Plan, planner.Catalogs, error) {
 	cats, err := workflow.PaperCatalogs(workflow.PaperWorkload(42), 300, 600)
 	if err != nil {
-		return nil, err
+		return nil, planner.Catalogs{}, err
 	}
-	clusterTr := []string{workflow.TrRunCAP3}
-	if cluster <= 1 {
-		cluster, clusterTr = 0, nil
-	}
+	var plan *planner.Plan
 	if sites != "" {
 		pol, err := planner.NewPolicy(policy)
 		if err != nil {
-			return nil, err
+			return nil, planner.Catalogs{}, err
 		}
-		return planner.NewMulti(wf, cats, planner.MultiOptions{
+		plan, err = planner.NewMulti(wf, cats, planner.MultiOptions{
 			Sites:  splitSites(sites),
 			Policy: pol,
 			// PaperCatalogs registers replicas for both external inputs,
 			// so multi-site plans stage them in once per site.
-			AddStageIn:             true,
-			ClusterSize:            cluster,
-			ClusterTransformations: clusterTr,
+			AddStageIn: true,
 		})
+		if err != nil {
+			return nil, planner.Catalogs{}, err
+		}
+	} else {
+		plan, err = planner.New(wf, cats, planner.Options{Site: site})
+		if err != nil {
+			return nil, planner.Catalogs{}, err
+		}
 	}
-	return planner.New(wf, cats, planner.Options{
-		Site:                   site,
-		ClusterSize:            cluster,
-		ClusterTransformations: clusterTr,
+	plan, err = planner.Cluster(plan, planner.ClusterOptions{
+		MaxTasksPerJob:   cluster,
+		TargetJobSeconds: clusterSeconds,
 	})
+	if err != nil {
+		return nil, planner.Catalogs{}, err
+	}
+	return plan, cats, nil
 }
 
 // siteConfig returns the simulated platform model for a built-in site.
@@ -214,7 +229,11 @@ func cmdRun(args []string) error {
 		"site-selection policy for -sites: round-robin, data-aware or runtime-aware")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	retries := fs.Int("retries", 5, "retry limit per job")
-	cluster := fs.Int("cluster", 0, "horizontal clustering factor (0 = off)")
+	cluster := fs.Int("cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
+	clusterSeconds := fs.Float64("cluster-seconds", 0,
+		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
+	failover := fs.Bool("failover", false,
+		"retry failed/evicted jobs on a sibling site (requires -sites)")
 	logOut := fs.String("log-out", "", "write the kickstart log (JSON lines) to this file")
 	rescueOut := fs.String("rescue-out", "", "write a rescue DAX here if the run is incomplete")
 	timeline := fs.Bool("timeline", false, "print an ASCII utilization timeline")
@@ -224,11 +243,14 @@ func cmdRun(args []string) error {
 	if *daxPath == "" {
 		return fmt.Errorf("run: -dax is required")
 	}
+	if *failover && *sites == "" {
+		return fmt.Errorf("run: -failover needs a multi-site run (-sites)")
+	}
 	wf, err := loadDAX(*daxPath)
 	if err != nil {
 		return err
 	}
-	plan, err := planFor(wf, *site, *sites, *policy, *cluster)
+	plan, cats, err := planFor(wf, *site, *sites, *policy, *cluster, *clusterSeconds)
 	if err != nil {
 		return err
 	}
@@ -261,16 +283,33 @@ func cmdRun(args []string) error {
 		}
 		ex = single
 	}
-	res, err := engine.Run(plan, ex, engine.Options{RetryLimit: *retries})
+	opts := engine.Options{RetryLimit: *retries}
+	if *failover {
+		fo, err := planner.NewFailover(cats, plan.Sites)
+		if err != nil {
+			return err
+		}
+		opts.Retry = fo.Resite
+	}
+	res, err := engine.Run(plan, ex, opts)
 	if err != nil {
 		return err
 	}
 	if err := stats.WriteSummary(os.Stdout, plan.Graph.Name, stats.Summarize(res.Log, res.Makespan)); err != nil {
 		return err
 	}
+	if *failover {
+		fmt.Printf("Cross-site failovers         : %12d\n", res.Failovers)
+	}
 	fmt.Println()
 	if err := stats.WritePerTransformation(os.Stdout, stats.PerTransformation(res.Log)); err != nil {
 		return err
+	}
+	if rows := stats.PerCluster(res.Log); len(rows) > 0 {
+		fmt.Println()
+		if err := stats.WritePerCluster(os.Stdout, rows); err != nil {
+			return err
+		}
 	}
 	if *timeline {
 		fmt.Println()
@@ -325,6 +364,10 @@ func cmdEnsemble(args []string) error {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	retries := fs.Int("retries", 5, "retry limit per job")
 	maxInFlight := fs.Int("max-inflight", 0, "ensemble-wide cap on jobs in flight (0 = unlimited)")
+	cluster := fs.Int("cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
+	clusterSeconds := fs.Float64("cluster-seconds", 0,
+		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
+	failover := fs.Bool("failover", false, "retry failed/evicted jobs on a sibling pool site")
 	workers := fs.Int("workers", 0, "planning workers (0 = all CPUs; results are identical for any count)")
 	jsonOut := fs.Bool("json", false, "emit the ensemble report as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -356,7 +399,12 @@ func cmdEnsemble(args []string) error {
 		Catalogs:    cats,
 		MaxInFlight: *maxInFlight,
 		RetryLimit:  *retries,
-		Workers:     *workers,
+		Cluster: planner.ClusterOptions{
+			MaxTasksPerJob:   *cluster,
+			TargetJobSeconds: *clusterSeconds,
+		},
+		Failover: *failover,
+		Workers:  *workers,
 	}
 	_, report, err := exp.Run()
 	if err != nil {
@@ -400,7 +448,14 @@ func cmdStatistics(args []string) error {
 		return err
 	}
 	fmt.Println()
-	return stats.WritePerTransformation(os.Stdout, stats.PerTransformation(lg))
+	if err := stats.WritePerTransformation(os.Stdout, stats.PerTransformation(lg)); err != nil {
+		return err
+	}
+	if rows := stats.PerCluster(lg); len(rows) > 0 {
+		fmt.Println()
+		return stats.WritePerCluster(os.Stdout, rows)
+	}
+	return nil
 }
 
 func cmdAnalyze(args []string) error {

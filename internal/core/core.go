@@ -98,42 +98,9 @@ func (e *Experiment) platformConfig(name string) (platform.Config, int, error) {
 // RunWorkflow executes the blast2cap3 workflow with n cluster chunks on
 // the named platform and returns its statistics.
 func (e *Experiment) RunWorkflow(platformName string, n int) (*RunResult, error) {
-	cfg, _, err := e.platformConfig(platformName)
-	if err != nil {
-		return nil, err
-	}
-	// Distinguish the RNG streams of different runs.
-	cfg.Seed = e.Seed ^ (uint64(n) * 0x9e3779b97f4a7c15)
-
-	abstract, err := workflow.BuildDAX(workflow.BuilderConfig{
-		N: n, Workload: e.Workload, Cost: e.Cost,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cats, err := workflow.PaperCatalogs(e.Workload, e.SandhillsSlots, e.OSGSlots)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := planner.New(abstract, cats, planner.Options{Site: platformName})
-	if err != nil {
-		return nil, err
-	}
-	ex, err := platform.NewExecutor(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := engine.Run(plan, ex, engine.Options{RetryLimit: e.RetryLimit})
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Platform: platformName,
-		N:        n,
-		Result:   res,
-		Summary:  stats.Summarize(res.Log, res.Makespan),
-		PerTask:  stats.PerTransformation(res.Log),
-	}, nil
+	// Disabled clustering options leave the plan untouched, so this is
+	// exactly the unclustered pipeline.
+	return e.RunClustered(platformName, n, planner.ClusterOptions{})
 }
 
 // RunSerial executes the serial blast2cap3 baseline on a single dedicated

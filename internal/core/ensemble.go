@@ -38,6 +38,12 @@ type EnsembleExperiment struct {
 	MaxInFlight int
 	// RetryLimit is the per-job retry budget.
 	RetryLimit int
+	// Cluster, when enabled, applies the post-planning clustering pass to
+	// every member plan.
+	Cluster planner.ClusterOptions
+	// Failover gives members cross-site retry: jobs evicted or failed on
+	// one pool site are re-resolved and resubmitted to a sibling.
+	Failover bool
 	// Workers bounds planning parallelism (PR-1 worker pool); results
 	// are identical for any worker count.
 	Workers int
@@ -106,6 +112,8 @@ func (e *EnsembleExperiment) Run() (*ensemble.Result, *stats.EnsembleReport, err
 		Sites:      e.Sites,
 		Policy:     e.Policy,
 		AddStageIn: true,
+		Cluster:    e.Cluster,
+		Failover:   e.Failover,
 		Workers:    e.Workers,
 	})
 	if err != nil {
@@ -229,8 +237,8 @@ type PolicyStats struct {
 	// MeanWorkflowMakespan averages member completion times across
 	// seeds and members.
 	MeanWorkflowMakespan float64
-	// TotalRetries and TotalEvictions sum across seeds.
-	TotalRetries, TotalEvictions int
+	// TotalRetries, TotalEvictions and TotalFailovers sum across seeds.
+	TotalRetries, TotalEvictions, TotalFailovers int
 }
 
 // ComparePolicies runs `runs` seeded ensembles per policy over the PR-1
@@ -284,6 +292,7 @@ func ComparePolicies(baseSeed uint64, runs int, policies []string, workers int,
 			}
 			ps.TotalRetries += r.TotalRetries
 			ps.TotalEvictions += r.TotalEvictions
+			ps.TotalFailovers += r.TotalFailovers
 		}
 		ps.MeanMakespan = sum / float64(runs)
 		ps.MeanWorkflowMakespan = wfSum / float64(runs)

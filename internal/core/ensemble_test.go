@@ -99,19 +99,37 @@ func TestPaperEnsembleReproducible(t *testing.T) {
 
 // BenchmarkEnsemble measures an 8-workflow, 2-site ensemble per policy on
 // the heterogeneous fixture — the data-aware row should show the smaller
-// reported makespan (exposed via the makespan_s metric).
+// reported makespan (exposed via the makespan_s metric). Each policy also
+// runs a clustered+failover variant, the tentpole's ensemble-level effect
+// (failovers surface via the failovers metric).
 func BenchmarkEnsemble(b *testing.B) {
+	variants := []struct {
+		name     string
+		cluster  planner.ClusterOptions
+		failover bool
+	}{
+		{"plain", planner.ClusterOptions{}, false},
+		{"cluster4-failover", planner.ClusterOptions{MaxTasksPerJob: 4}, true},
+	}
 	for _, policy := range planner.PolicyNames() {
-		b.Run(policy, func(b *testing.B) {
-			var makespan float64
-			for i := 0; i < b.N; i++ {
-				_, report, err := heteroExperiment(b, 42, policy).Run()
-				if err != nil {
-					b.Fatal(err)
+		for _, v := range variants {
+			b.Run(policy+"/"+v.name, func(b *testing.B) {
+				var makespan float64
+				var failovers int
+				for i := 0; i < b.N; i++ {
+					e := heteroExperiment(b, 42, policy)
+					e.Cluster = v.cluster
+					e.Failover = v.failover
+					_, report, err := e.Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					makespan = report.Makespan
+					failovers = report.TotalFailovers
 				}
-				makespan = report.Makespan
-			}
-			b.ReportMetric(makespan, "makespan_s")
-		})
+				b.ReportMetric(makespan, "makespan_s")
+				b.ReportMetric(float64(failovers), "failovers")
+			})
+		}
 	}
 }

@@ -47,8 +47,14 @@ type Event struct {
 	Type EventType
 	// Time is the event time in seconds of workflow-relative time.
 	Time float64
-	// Record is the kickstart record of the attempt.
+	// Record is the kickstart record of the attempt. It may be nil when
+	// Members carries the attempt's records instead.
 	Record *kickstart.Record
+	// Members carries the per-task kickstart records of a clustered
+	// (composite) job's attempt — one per payload task, in on-node
+	// execution order. The engine appends them to the log after Record,
+	// so per-task statistics stay comparable with unclustered runs.
+	Members []*kickstart.Record
 }
 
 // Executor runs planned jobs. Submit must not block; Next blocks until an
@@ -60,6 +66,15 @@ type Executor interface {
 	Now() float64
 }
 
+// RetryPolicy decides where a failing job's next attempt runs. It receives
+// the job as last submitted, the attempt number that just failed, the site
+// of the failed attempt and whether it was evicted (vs. failed). Returning
+// nil retries the job unchanged (same-site retry, the DAGMan default);
+// returning a job re-targets the retry — planner.Failover re-resolves the
+// job onto a sibling site of a multi-site plan. The returned job must keep
+// the original ID: it is the same DAG node, re-bound.
+type RetryPolicy func(job *planner.Job, attempt int, lastSite string, evicted bool) *planner.Job
+
 // Options tunes the meta-scheduler.
 type Options struct {
 	// RetryLimit is the number of additional attempts granted to a
@@ -68,6 +83,9 @@ type Options struct {
 	// MaxActive caps jobs in flight (DAGMan's maxjobs throttle).
 	// 0 means unlimited.
 	MaxActive int
+	// Retry, when set, is consulted before every retry and may re-target
+	// the job (cross-site failover). Nil keeps same-site retries.
+	Retry RetryPolicy
 }
 
 // Result summarizes one engine run.
@@ -88,6 +106,9 @@ type Result struct {
 	Retries int
 	// Evictions counts attempts ended by preemption.
 	Evictions int
+	// Failovers counts retries the retry policy re-targeted to a
+	// different site (a subset of Retries).
+	Failovers int
 }
 
 // RescueWorkflow returns the IDs that a rescue DAG would contain: all jobs
@@ -155,6 +176,10 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 
 	attempts := make(map[string]int, len(order))
 	done := make(map[string]bool, len(order))
+	// resited tracks jobs the retry policy re-targeted, so later retries
+	// start from the job as last submitted (the plan itself is never
+	// mutated — it may be shared or reused).
+	resited := make(map[string]*planner.Job)
 	inflight := 0
 
 	submit := func() {
@@ -173,6 +198,11 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 		if ev.Record != nil {
 			if err := res.Log.Append(ev.Record); err != nil {
 				return nil, fmt.Errorf("engine: job %q: %w", ev.JobID, err)
+			}
+		}
+		for _, r := range ev.Members {
+			if err := res.Log.Append(r); err != nil {
+				return nil, fmt.Errorf("engine: job %q member %q: %w", ev.JobID, r.JobID, err)
 			}
 		}
 		if ev.Time > res.Makespan {
@@ -194,7 +224,27 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 			if attempts[ev.JobID] <= opts.RetryLimit {
 				// Resubmit; the attempt counter increments on submit.
 				res.Retries++
-				heap.Push(ready, &readyItem{job: plan.Job(ev.JobID), seq: seq})
+				job := plan.Job(ev.JobID)
+				if cur := resited[ev.JobID]; cur != nil {
+					job = cur
+				}
+				if opts.Retry != nil {
+					lastSite := job.Site
+					if ev.Record != nil && ev.Record.Site != "" {
+						lastSite = ev.Record.Site
+					}
+					if nj := opts.Retry(job, attempts[ev.JobID], lastSite, ev.Type == EventEvicted); nj != nil {
+						if nj.ID != job.ID {
+							return nil, fmt.Errorf("engine: retry policy renamed job %q to %q", job.ID, nj.ID)
+						}
+						if nj.Site != job.Site {
+							res.Failovers++
+						}
+						resited[ev.JobID] = nj
+						job = nj
+					}
+				}
+				heap.Push(ready, &readyItem{job: job, seq: seq})
 				seq++
 			} else {
 				res.PermanentlyFailed = append(res.PermanentlyFailed, ev.JobID)

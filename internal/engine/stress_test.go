@@ -149,74 +149,174 @@ func TestEngineStress(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			checkEngineInvariants(t, plan, ex, res)
+			if res.Failovers != 0 {
+				t.Errorf("Failovers = %d without a retry policy", res.Failovers)
+			}
+		})
+	}
+}
 
-			// Partition invariant.
-			all := make(map[string]bool, plan.Graph.Len())
-			for _, j := range plan.Graph.Jobs() {
-				all[j.ID] = true
-			}
-			seen := make(map[string]bool)
-			for _, id := range append(append([]string(nil), res.Completed...), res.Unfinished...) {
-				if !all[id] {
-					t.Errorf("result mentions unknown job %q", id)
+// checkEngineInvariants asserts the engine's exact accounting against the
+// chaos executor's counters:
+//
+//   - Completed ∪ Unfinished partitions the plan's job IDs;
+//   - Evictions equals the evict events the executor produced;
+//   - Retries equals non-success events minus permanent failures;
+//   - permanently failed jobs and all their descendants are unfinished;
+//   - RescueWorkflow is deterministic and sorted.
+func checkEngineInvariants(t *testing.T, plan *planner.Plan, ex *chaosExecutor, res *Result) {
+	t.Helper()
+
+	// Partition invariant.
+	all := make(map[string]bool, plan.Graph.Len())
+	for _, j := range plan.Graph.Jobs() {
+		all[j.ID] = true
+	}
+	seen := make(map[string]bool)
+	for _, id := range append(append([]string(nil), res.Completed...), res.Unfinished...) {
+		if !all[id] {
+			t.Errorf("result mentions unknown job %q", id)
+		}
+		if seen[id] {
+			t.Errorf("job %q appears twice across Completed/Unfinished", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != plan.Graph.Len() {
+		t.Errorf("Completed+Unfinished covers %d of %d jobs", len(seen), plan.Graph.Len())
+	}
+
+	// Exact event accounting.
+	if res.Evictions != ex.evicts {
+		t.Errorf("Evictions = %d, executor evicted %d", res.Evictions, ex.evicts)
+	}
+	wantRetries := ex.fails + ex.evicts - len(res.PermanentlyFailed)
+	if res.Retries != wantRetries {
+		t.Errorf("Retries = %d, want fails(%d)+evicts(%d)-permanent(%d) = %d",
+			res.Retries, ex.fails, ex.evicts, len(res.PermanentlyFailed), wantRetries)
+	}
+	if got := res.Log.Len(); got != ex.fails+ex.evicts+ex.finishes {
+		t.Errorf("log has %d records, executor produced %d", got, ex.fails+ex.evicts+ex.finishes)
+	}
+	if res.Success != (len(res.Unfinished) == 0) {
+		t.Errorf("Success = %v with %d unfinished", res.Success, len(res.Unfinished))
+	}
+
+	// Failure poisoning: a permanently failed job and its descendants
+	// never complete.
+	unfinished := make(map[string]bool)
+	for _, id := range res.Unfinished {
+		unfinished[id] = true
+	}
+	var checkDown func(string)
+	checkDown = func(id string) {
+		if !unfinished[id] {
+			t.Errorf("descendant %q of a permanently failed job completed", id)
+			return
+		}
+		for _, c := range plan.Graph.Children(id) {
+			checkDown(c)
+		}
+	}
+	for _, id := range res.PermanentlyFailed {
+		checkDown(id)
+	}
+
+	// Rescue determinism.
+	r1, r2 := res.RescueWorkflow(), res.RescueWorkflow()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("RescueWorkflow not deterministic: %v vs %v", r1, r2)
+	}
+	if !sort.StringsAreSorted(r1) {
+		t.Errorf("RescueWorkflow not sorted: %v", r1)
+	}
+	want := append([]string(nil), res.Unfinished...)
+	sort.Strings(want)
+	if !reflect.DeepEqual(r1, want) {
+		t.Errorf("RescueWorkflow = %v, want sorted Unfinished %v", r1, want)
+	}
+}
+
+// flipSite is a deterministic cross-site retry policy for the chaos world:
+// every retry re-targets the job to the other of two sites.
+func flipSite(job *planner.Job, attempt int, lastSite string, evicted bool) *planner.Job {
+	nj := *job
+	if lastSite == "chaosA" {
+		nj.Site = "chaosB"
+	} else {
+		nj.Site = "chaosA"
+	}
+	return &nj
+}
+
+// TestEngineStressFailover reruns the randomized stress schedule with a
+// cross-site retry policy and checks that failover preserves every
+// invariant the same-site stress test pins, plus the failover-specific
+// ones: every retry is re-sited, attempt sites alternate, per-attempt
+// records carry the re-targeted site, and the whole run — rescue list
+// included — is deterministic.
+func TestEngineStressFailover(t *testing.T) {
+	configs := []struct {
+		failP, evictP float64
+		retries       int
+	}{
+		{0.3, 0, 3},
+		{0, 0.35, 4},
+		{0.25, 0.25, 2},
+		{0.5, 0.3, 1},
+	}
+	for seed := uint64(0); seed < 16; seed++ {
+		cfg := configs[seed%uint64(len(configs))]
+		name := fmt.Sprintf("seed%d_f%.2f_e%.2f_r%d", seed, cfg.failP, cfg.evictP, cfg.retries)
+		t.Run(name, func(t *testing.T) {
+			run := func() (*Result, *chaosExecutor) {
+				plan := randomPlan(t, seed, 30+int(seed%3)*10, 0.08)
+				for _, j := range plan.Info {
+					j.Site = "chaosA"
 				}
-				if seen[id] {
-					t.Errorf("job %q appears twice across Completed/Unfinished", id)
+				ex := newChaosExecutor(seed, cfg.failP, cfg.evictP)
+				res, err := Run(plan, ex, Options{
+					RetryLimit: cfg.retries,
+					MaxActive:  1 + int(seed%7),
+					Retry:      flipSite,
+				})
+				if err != nil {
+					t.Fatal(err)
 				}
-				seen[id] = true
+				checkEngineInvariants(t, plan, ex, res)
+				return res, ex
 			}
-			if len(seen) != plan.Graph.Len() {
-				t.Errorf("Completed+Unfinished covers %d of %d jobs", len(seen), plan.Graph.Len())
+			res, _ := run()
+
+			// Every retry crossed sites.
+			if res.Failovers != res.Retries {
+				t.Errorf("Failovers = %d, want every retry re-sited (%d)", res.Failovers, res.Retries)
+			}
+			// Attempt k of a job runs on the site the policy chose:
+			// alternating, starting at chaosA.
+			for _, r := range res.Log.Records() {
+				want := "chaosA"
+				if r.Attempt%2 == 0 {
+					want = "chaosB"
+				}
+				if r.Site != want {
+					t.Errorf("job %s attempt %d ran at %s, want %s", r.JobID, r.Attempt, r.Site, want)
+				}
 			}
 
-			// Exact event accounting.
-			if res.Evictions != ex.evicts {
-				t.Errorf("Evictions = %d, executor evicted %d", res.Evictions, ex.evicts)
+			// Full-run determinism: a second run yields the identical
+			// result, record for record.
+			res2, _ := run()
+			if !reflect.DeepEqual(res.RescueWorkflow(), res2.RescueWorkflow()) {
+				t.Errorf("rescue list differs across identical runs")
 			}
-			wantRetries := ex.fails + ex.evicts - len(res.PermanentlyFailed)
-			if res.Retries != wantRetries {
-				t.Errorf("Retries = %d, want fails(%d)+evicts(%d)-permanent(%d) = %d",
-					res.Retries, ex.fails, ex.evicts, len(res.PermanentlyFailed), wantRetries)
+			if res.Makespan != res2.Makespan || res.Retries != res2.Retries ||
+				res.Failovers != res2.Failovers || res.Evictions != res2.Evictions {
+				t.Errorf("summary differs across identical runs: %+v vs %+v", res, res2)
 			}
-			if got := res.Log.Len(); got != ex.fails+ex.evicts+ex.finishes {
-				t.Errorf("log has %d records, executor produced %d", got, ex.fails+ex.evicts+ex.finishes)
-			}
-			if res.Success != (len(res.Unfinished) == 0) {
-				t.Errorf("Success = %v with %d unfinished", res.Success, len(res.Unfinished))
-			}
-
-			// Failure poisoning: a permanently failed job and its
-			// descendants never complete.
-			unfinished := make(map[string]bool)
-			for _, id := range res.Unfinished {
-				unfinished[id] = true
-			}
-			var checkDown func(string)
-			checkDown = func(id string) {
-				if !unfinished[id] {
-					t.Errorf("descendant %q of a permanently failed job completed", id)
-					return
-				}
-				for _, c := range plan.Graph.Children(id) {
-					checkDown(c)
-				}
-			}
-			for _, id := range res.PermanentlyFailed {
-				checkDown(id)
-			}
-
-			// Rescue determinism.
-			r1, r2 := res.RescueWorkflow(), res.RescueWorkflow()
-			if !reflect.DeepEqual(r1, r2) {
-				t.Errorf("RescueWorkflow not deterministic: %v vs %v", r1, r2)
-			}
-			if !sort.StringsAreSorted(r1) {
-				t.Errorf("RescueWorkflow not sorted: %v", r1)
-			}
-			want := append([]string(nil), res.Unfinished...)
-			sort.Strings(want)
-			if !reflect.DeepEqual(r1, want) {
-				t.Errorf("RescueWorkflow = %v, want sorted Unfinished %v", r1, want)
+			if !reflect.DeepEqual(res.Log.Records(), res2.Log.Records()) {
+				t.Errorf("kickstart logs differ across identical runs")
 			}
 		})
 	}

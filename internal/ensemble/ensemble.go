@@ -17,6 +17,7 @@ import (
 
 	"pegflow/internal/dax"
 	"pegflow/internal/engine"
+	"pegflow/internal/fifo"
 	"pegflow/internal/planner"
 	"pegflow/internal/pool"
 	"pegflow/internal/sim/platform"
@@ -37,6 +38,10 @@ type Spec struct {
 	RetryLimit int
 	// MaxActive caps this member's own jobs in flight (0 = unlimited).
 	MaxActive int
+	// Retry, when set, re-targets this member's retries (cross-site
+	// failover). Each member needs its own policy instance: the policy
+	// carries adaptive per-run state.
+	Retry engine.RetryPolicy
 }
 
 // Options tunes the ensemble driver.
@@ -110,10 +115,12 @@ func (r *Result) Report(policy string) *stats.EnsembleReport {
 			Attempts:  res.Log.Len(),
 			Retries:   res.Retries,
 			Evictions: res.Evictions,
+			Failovers: res.Failovers,
 		})
 		sum += res.Makespan
 		rep.TotalRetries += res.Retries
 		rep.TotalEvictions += res.Evictions
+		rep.TotalFailovers += res.Failovers
 	}
 	if len(r.Workflows) > 0 {
 		rep.MeanWorkflowMakespan = sum / float64(len(r.Workflows))
@@ -140,6 +147,13 @@ type PlanOptions struct {
 	// AddStageIn synthesizes per-site stage-in jobs for external inputs
 	// (requires replicas to be registered for them).
 	AddStageIn bool
+	// Cluster, when enabled, runs the post-planning clustering pass on
+	// every member plan (planner.Cluster).
+	Cluster planner.ClusterOptions
+	// Failover gives every member a cross-site retry policy over the
+	// target sites (planner.Failover), so jobs evicted on one pool site
+	// are re-resolved and resubmitted to a sibling.
+	Failover bool
 	// Workers bounds planning parallelism (<= 0 means all CPUs).
 	Workers int
 }
@@ -164,12 +178,25 @@ func PlanAll(srcs []WorkflowSource, cats planner.Catalogs, opts PlanOptions) ([]
 		if err != nil {
 			return fmt.Errorf("ensemble: planning %q: %w", srcs[i].Name, err)
 		}
+		if opts.Cluster.Enabled() {
+			p, err = planner.Cluster(p, opts.Cluster)
+			if err != nil {
+				return fmt.Errorf("ensemble: clustering %q: %w", srcs[i].Name, err)
+			}
+		}
 		specs[i] = Spec{
 			Name:       srcs[i].Name,
 			Plan:       p,
 			Priority:   srcs[i].Priority,
 			RetryLimit: srcs[i].RetryLimit,
 			MaxActive:  srcs[i].MaxActive,
+		}
+		if opts.Failover {
+			fo, err := planner.NewFailover(cats, opts.Sites)
+			if err != nil {
+				return fmt.Errorf("ensemble: failover for %q: %w", srcs[i].Name, err)
+			}
+			specs[i].Retry = fo.Resite
 		}
 		return nil
 	})
@@ -238,7 +265,7 @@ type driver struct {
 	mailbox []chan engine.Event
 	done    []bool
 
-	queue    []tagged
+	queue    fifo.Queue[tagged]
 	hold     holdQueue
 	inflight int
 	seq      int
@@ -274,7 +301,7 @@ func (d *driver) release() {
 		h := heap.Pop(&d.hold).(*held)
 		wf := h.wf
 		d.pool.SubmitTagged(h.job, h.attempt, func(ev engine.Event) {
-			d.queue = append(d.queue, tagged{wf: wf, ev: ev})
+			d.queue.Push(tagged{wf: wf, ev: ev})
 		})
 		d.inflight++
 	}
@@ -331,6 +358,7 @@ func Run(p *platform.MultiExecutor, specs []Spec, opts Options) (*Result, error)
 			res, err := engine.Run(specs[w].Plan, &facade{d: d, wf: w}, engine.Options{
 				RetryLimit: specs[w].RetryLimit,
 				MaxActive:  specs[w].MaxActive,
+				Retry:      specs[w].Retry,
 			})
 			d.control <- ctrl{wf: w, finished: true, res: res, err: err}
 		}()
@@ -343,14 +371,13 @@ func Run(p *platform.MultiExecutor, specs []Spec, opts Options) (*Result, error)
 	}
 
 	for active > 0 {
-		if len(d.queue) == 0 {
+		if d.queue.Len() == 0 {
 			if !d.pool.Step() {
 				return nil, fmt.Errorf("ensemble: deadlock: %d workflows active with no platform events", active)
 			}
 			continue
 		}
-		te := d.queue[0]
-		d.queue = d.queue[1:]
+		te := d.queue.Pop()
 		d.inflight--
 		d.release()
 		if d.done[te.wf] {

@@ -57,6 +57,11 @@ type Record struct {
 	Node string `json:"node,omitempty"`
 	// Attempt numbers retries from 1.
 	Attempt int `json:"attempt"`
+	// ClusterID names the composite (clustered) grid job this attempt ran
+	// inside, when horizontal task clustering folded several payload tasks
+	// into one dispatch; empty for unclustered attempts. All member
+	// records of one clustered attempt share the composite's ClusterID.
+	ClusterID string `json:"cluster_id,omitempty"`
 	// SubmitTime is when the meta-scheduler released the job.
 	SubmitTime float64 `json:"submit_time"`
 	// SetupStart is when the node began working on the job (end of the

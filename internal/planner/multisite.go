@@ -137,6 +137,28 @@ func dataSeconds(job PolicyJob, c Candidate) float64 {
 	return float64(bytes) / (stageInMBps(c.Site) * 1e6)
 }
 
+// siteCandidates returns the sites at which the transformation resolves,
+// in the given site order: preinstalled entries always qualify, uninstalled
+// entries only where per-job installs are allowed (no shared software
+// stack). Both NewMulti's site selection and Failover's retry-elsewhere
+// re-resolution go through this, so a failover lands exactly where the
+// planner could have placed the job in the first place.
+func siteCandidates(cats Catalogs, sites []*catalog.Site, transformation string) []Candidate {
+	var cands []Candidate
+	for _, s := range sites {
+		tc, err := cats.Transformations.Lookup(transformation, s.Name)
+		if err != nil {
+			continue
+		}
+		if !tc.Installed && s.SharedSoftware {
+			// A shared-software site refuses per-job installs.
+			continue
+		}
+		cands = append(cands, Candidate{Site: s, Entry: tc})
+	}
+	return cands
+}
+
 // stageInMBps returns the site's staging bandwidth, defaulting to 100 MB/s
 // when the catalog leaves it unset.
 func stageInMBps(s *catalog.Site) float64 {
@@ -225,18 +247,7 @@ func NewMulti(abstract *dax.Workflow, cats Catalogs, opts MultiOptions) (*Plan, 
 
 		// Candidate sites: those where the transformation resolves and
 		// is either preinstalled or installable (no shared stack).
-		var cands []Candidate
-		for _, s := range sites {
-			tc, err := cats.Transformations.Lookup(aj.Transformation, s.Name)
-			if err != nil {
-				continue
-			}
-			if !tc.Installed && s.SharedSoftware {
-				// A shared-software site refuses per-job installs.
-				continue
-			}
-			cands = append(cands, Candidate{Site: s, Entry: tc})
-		}
+		cands := siteCandidates(cats, sites, aj.Transformation)
 		if len(cands) == 0 {
 			return nil, fmt.Errorf(
 				"planner: job %q: transformation %q resolves at none of the target sites %v",

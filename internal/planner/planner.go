@@ -54,6 +54,21 @@ type Job struct {
 	// Tasks lists the abstract job IDs folded into this executable job
 	// (len > 1 only for clustered jobs; empty for synthesized jobs).
 	Tasks []string
+	// Members lists the payload tasks of a composite job built by the
+	// post-planning Cluster pass, in on-node execution order, with their
+	// per-task runtime estimates. Executors that understand Members run
+	// the payloads sequentially on one slot — one dispatch and one
+	// software install amortized over all of them — and emit one
+	// kickstart record per member. Empty for ordinary jobs.
+	Members []Member
+}
+
+// Member is one payload task folded into a composite (clustered) job.
+type Member struct {
+	// TaskID is the folded executable job's ID.
+	TaskID string
+	// ExecSeconds is the member's reference-speed runtime estimate.
+	ExecSeconds float64
 }
 
 // Plan is an executable workflow bound to a site.

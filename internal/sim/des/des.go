@@ -79,6 +79,10 @@ type Simulation struct {
 	stopped bool
 	// processed counts events executed; useful for tests and loop guards.
 	processed uint64
+	// canceled counts canceled events still occupying queue slots.
+	// Cancellation is lazy (O(1)): entries are discarded when they reach
+	// the heap head, so every loop that peeks the head must skip them.
+	canceled int
 }
 
 // New returns a simulation with the clock at zero.
@@ -116,39 +120,55 @@ func (s *Simulation) After(d float64, fn func()) *Event {
 	return s.At(s.now+Time(d), fn)
 }
 
-// Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel withdraws a pending event in O(1). The entry stays in the queue
+// (marked dead, its callback released) and is discarded when it reaches the
+// head. Canceling an already-fired or already-canceled event is a no-op.
 func (s *Simulation) Cancel(e *Event) {
 	if e == nil || e.cancel {
 		return
 	}
 	e.cancel = true
+	e.fn = nil
 	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
-		e.index = -1
+		s.canceled++
 	}
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulation) Stop() { s.stopped = true }
 
-// Pending returns the number of events waiting in the queue.
-func (s *Simulation) Pending() int { return len(s.queue) }
+// Pending returns the number of live (non-canceled) events waiting in the
+// queue.
+func (s *Simulation) Pending() int { return len(s.queue) - s.canceled }
 
-// Step executes the single next event, advancing the clock to its time.
-// It returns false when the queue is empty.
-func (s *Simulation) Step() bool {
+// peek discards canceled entries that have reached the heap head and
+// returns the next live event without executing it, or nil when none
+// remain. Every deadline or emptiness check must go through peek — reading
+// queue[0] directly would see dead entries and mis-gate the loop.
+func (s *Simulation) peek() *Event {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
-			continue
+		e := s.queue[0]
+		if !e.cancel {
+			return e
 		}
-		s.now = e.at
-		s.processed++
-		e.fn()
-		return true
+		heap.Pop(&s.queue)
+		s.canceled--
 	}
-	return false
+	return nil
+}
+
+// Step executes the single next live event, advancing the clock to its
+// time. It returns false when no live events remain.
+func (s *Simulation) Step() bool {
+	e := s.peek()
+	if e == nil {
+		return false
+	}
+	heap.Pop(&s.queue)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -159,10 +179,16 @@ func (s *Simulation) Run() {
 }
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
-// Events scheduled exactly at t are executed.
+// Events scheduled exactly at t are executed. The guard peeks the next
+// *live* event: a canceled entry sitting at the heap head must not let the
+// loop fire an event scheduled past the deadline.
 func (s *Simulation) RunUntil(t Time) {
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].at <= t {
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && t > s.now {

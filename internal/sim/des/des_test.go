@@ -158,6 +158,96 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// TestRunUntilCanceledHead is the regression test for the deadline bug:
+// cancellation is lazy, so a canceled entry can sit at the heap head, and a
+// RunUntil guard that reads queue[0].at directly would see the dead entry's
+// early time and let Step fire the next live event even when it lies past
+// the deadline. The fixed guard peeks the next *live* event.
+func TestRunUntilCanceledHead(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(5, func() { t.Error("canceled event fired") })
+	s.At(20, func() { fired = true })
+	s.Cancel(e)
+	s.RunUntil(10)
+	if fired {
+		t.Fatal("RunUntil(10) executed an event scheduled at t=20 past the deadline")
+	}
+	if s.Now() != 10 {
+		t.Errorf("clock = %v, want 10s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (the live t=20 event)", s.Pending())
+	}
+	s.Run()
+	if !fired || s.Now() != 20 {
+		t.Errorf("after Run: fired=%v now=%v, want true/20s", fired, s.Now())
+	}
+}
+
+// A run of canceled entries at the head must all be skipped by the guard.
+func TestRunUntilManyCanceledHeads(t *testing.T) {
+	s := New()
+	for i := 1; i <= 8; i++ {
+		e := s.At(Time(i), func() { t.Error("canceled event fired") })
+		s.Cancel(e)
+	}
+	ran := false
+	s.At(9, func() { ran = true })
+	s.RunUntil(4)
+	if ran {
+		t.Fatal("RunUntil(4) fired the t=9 event")
+	}
+	if s.Now() != 4 {
+		t.Errorf("clock = %v, want 4s", s.Now())
+	}
+	s.RunUntil(9)
+	if !ran || s.Now() != 9 {
+		t.Errorf("RunUntil(9): ran=%v now=%v", ran, s.Now())
+	}
+}
+
+// Pending counts live events only, whether the canceled entries have been
+// discarded yet or not.
+func TestPendingExcludesCanceled(t *testing.T) {
+	s := New()
+	var events []*Event
+	for i := 1; i <= 6; i++ {
+		events = append(events, s.At(Time(i), func() {}))
+	}
+	s.Cancel(events[0])
+	s.Cancel(events[3])
+	if got := s.Pending(); got != 4 {
+		t.Fatalf("Pending = %d, want 4", got)
+	}
+	steps := 0
+	for s.Step() {
+		steps++
+	}
+	if steps != 4 {
+		t.Errorf("Step executed %d events, want 4", steps)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending after drain = %d, want 0", s.Pending())
+	}
+	if s.Processed() != 4 {
+		t.Errorf("Processed = %d, want 4", s.Processed())
+	}
+}
+
+// Canceling an event tied with the current event (same time, later seq)
+// must suppress it even though it is already "due".
+func TestCancelSameTimeSibling(t *testing.T) {
+	s := New()
+	var e2 *Event
+	s.At(3, func() { s.Cancel(e2) })
+	e2 = s.At(3, func() { t.Error("sibling canceled at the same timestamp fired") })
+	s.Run()
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3s", s.Now())
+	}
+}
+
 func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 	s := New()
 	if s.Step() {

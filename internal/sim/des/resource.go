@@ -7,7 +7,15 @@ type Resource struct {
 	sim      *Simulation
 	capacity int
 	inUse    int
-	waiters  []*acquireReq
+	// waiters is the FIFO wait queue; the live window is waiters[whead:].
+	// Popped slots are nilled immediately (so granted requests are not
+	// pinned by the backing array) and the slice is compacted once the
+	// dead prefix or canceled entries dominate, keeping retention O(live)
+	// across arbitrarily long runs.
+	waiters []*acquireReq
+	whead   int
+	// canceled counts canceled requests still inside the live window.
+	canceled int
 	// Grants counts successful acquisitions, for tests and stats.
 	Grants uint64
 	// MaxInUse tracks the high-water mark of concurrently held units.
@@ -24,6 +32,7 @@ type acquireReq struct {
 	n        int
 	fn       func()
 	canceled bool
+	granted  bool
 }
 
 // Acquisition is a handle for a pending resource request; Cancel withdraws
@@ -33,12 +42,17 @@ type Acquisition struct {
 	req *acquireReq
 }
 
-// Cancel withdraws a pending request. It is a no-op after the grant fired.
+// Cancel withdraws a pending request in O(1); the queue entry is discarded
+// when it reaches the head or at the next compaction. It is a no-op after
+// the grant fired.
 func (a *Acquisition) Cancel() {
-	if a == nil || a.req == nil {
+	if a == nil || a.req == nil || a.req.canceled || a.req.granted {
 		return
 	}
 	a.req.canceled = true
+	a.req.fn = nil
+	a.r.canceled++
+	a.r.maybeCompact()
 }
 
 // NewResource creates a resource with the given capacity attached to sim.
@@ -87,13 +101,7 @@ func (r *Resource) Available() int { return r.capacity - r.inUse }
 
 // QueueLen returns the number of pending (non-canceled) requests.
 func (r *Resource) QueueLen() int {
-	n := 0
-	for _, w := range r.waiters {
-		if !w.canceled {
-			n++
-		}
-	}
-	return n
+	return len(r.waiters) - r.whead - r.canceled
 }
 
 // SetCapacity changes the capacity. Growing the pool wakes queued waiters.
@@ -133,20 +141,56 @@ func (r *Resource) Release(n int) {
 	r.dispatch()
 }
 
+// popHead drops the current head request from the live window.
+func (r *Resource) popHead() {
+	r.waiters[r.whead] = nil
+	r.whead++
+	r.maybeCompact()
+}
+
+// maybeCompact rewrites the backing array once the dead prefix or canceled
+// mid-queue entries dominate the live requests, preserving FIFO order.
+func (r *Resource) maybeCompact() {
+	live := len(r.waiters) - r.whead
+	if live == 0 {
+		r.waiters = r.waiters[:0]
+		r.whead = 0
+		r.canceled = 0
+		return
+	}
+	if r.whead <= len(r.waiters)/2 && r.canceled <= live/2 {
+		return
+	}
+	out := r.waiters[:0]
+	for _, w := range r.waiters[r.whead:] {
+		if w != nil && !w.canceled {
+			out = append(out, w)
+		}
+	}
+	for i := len(out); i < len(r.waiters); i++ {
+		r.waiters[i] = nil
+	}
+	r.waiters = out
+	r.whead = 0
+	r.canceled = 0
+}
+
 // dispatch grants queued requests in FIFO order while units are available.
 // FIFO means a large request at the head blocks smaller ones behind it,
 // like a non-backfilling batch scheduler.
 func (r *Resource) dispatch() {
-	for len(r.waiters) > 0 {
-		head := r.waiters[0]
+	for r.whead < len(r.waiters) {
+		head := r.waiters[r.whead]
 		if head.canceled {
-			r.waiters = r.waiters[1:]
+			r.canceled--
+			r.popHead()
 			continue
 		}
 		if r.inUse+head.n > r.capacity {
 			return
 		}
-		r.waiters = r.waiters[1:]
+		head.granted = true
+		r.popHead()
 		r.account()
 		r.inUse += head.n
 		if r.inUse > r.MaxInUse {

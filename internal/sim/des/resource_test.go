@@ -85,6 +85,73 @@ func TestResourceCancelPending(t *testing.T) {
 	}
 }
 
+// Canceled requests lingering mid-queue must not break FIFO order of the
+// live requests around them, must vanish from QueueLen immediately, and the
+// queue must stay usable across heavy cancel churn (compaction path).
+func TestResourceCancelMidQueueChurn(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	r.Acquire(1, func() { s.After(100, func() { r.Release(1) }) })
+	var order []int
+	var keep []*Acquisition
+	for i := 0; i < 200; i++ {
+		i := i
+		a := r.Acquire(1, func() {
+			order = append(order, i)
+			s.After(1, func() { r.Release(1) })
+		})
+		keep = append(keep, a)
+	}
+	// Cancel every request except multiples of 10, scattered mid-queue.
+	live := 0
+	for i, a := range keep {
+		if i%10 == 0 {
+			live++
+			continue
+		}
+		a.Cancel()
+	}
+	if got := r.QueueLen(); got != live {
+		t.Fatalf("QueueLen after cancels = %d, want %d", got, live)
+	}
+	s.Run()
+	if len(order) != live {
+		t.Fatalf("granted %d requests, want %d", len(order), live)
+	}
+	for k, v := range order {
+		if v != k*10 {
+			t.Fatalf("grant order broken: order[%d] = %d, want %d", k, v, k*10)
+		}
+	}
+	// Double cancel and cancel-after-grant are no-ops.
+	keep[0].Cancel()
+	keep[1].Cancel()
+	if r.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d, want 0", r.QueueLen())
+	}
+}
+
+// The waiters backing array must not retain granted requests: after heavy
+// one-in-one-out traffic the internal queue stays compact (live window at
+// the front, dead prefix bounded).
+func TestResourceQueueStaysCompact(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	for i := 0; i < 10000; i++ {
+		r.Acquire(1, func() { s.After(1, func() { r.Release(1) }) })
+	}
+	s.Run()
+	if r.QueueLen() != 0 {
+		t.Fatalf("QueueLen = %d, want 0", r.QueueLen())
+	}
+	if len(r.waiters) != 0 || r.whead != 0 {
+		t.Errorf("internal queue not reset: len=%d whead=%d", len(r.waiters), r.whead)
+	}
+	if got := int(r.Grants); got != 10000 {
+		t.Errorf("Grants = %d, want 10000", got)
+	}
+}
+
 func TestResourceSetCapacityGrow(t *testing.T) {
 	s := New()
 	r := NewResource(s, 0)

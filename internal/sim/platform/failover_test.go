@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"pegflow/internal/catalog"
+	"pegflow/internal/dax"
+	"pegflow/internal/engine"
+	"pegflow/internal/kickstart"
+	"pegflow/internal/planner"
+)
+
+// twoSiteWorld builds catalogs for a preinstalled "stable" site and an
+// install-required "flaky" site, plus a flat workflow of n independent
+// tasks planned entirely onto the flaky site.
+func twoSiteWorld(t *testing.T, n int) (planner.Catalogs, *planner.Plan) {
+	t.Helper()
+	sc := catalog.NewSiteCatalog()
+	for _, s := range []*catalog.Site{
+		{Name: "stable", Slots: 8, SpeedFactor: 1, SharedSoftware: true},
+		{Name: "flaky", Slots: 8, SpeedFactor: 1},
+	} {
+		if err := sc.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc := catalog.NewTransformationCatalog()
+	if err := tc.Add(&catalog.Transformation{Name: "work", Site: "stable", Installed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Add(&catalog.Transformation{Name: "work", Site: "flaky", InstallBytes: 10e6}); err != nil {
+		t.Fatal(err)
+	}
+	cats := planner.Catalogs{Sites: sc, Transformations: tc, Replicas: catalog.NewReplicaCatalog()}
+
+	w := dax.New("flat")
+	for i := 0; i < n; i++ {
+		w.NewJob(fmt.Sprintf("J%03d", i), "work").SetProfile("pegasus", "runtime", "500")
+	}
+	// A policy that pins everything to the flaky site, so failover is the
+	// only road to the stable one.
+	plan, err := planner.NewMulti(w, cats, planner.MultiOptions{
+		Sites:  []string{"stable", "flaky"},
+		Policy: pinPolicy{site: "flaky"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cats, plan
+}
+
+type pinPolicy struct{ site string }
+
+func (p pinPolicy) Name() string { return "pin" }
+func (p pinPolicy) Choose(job planner.PolicyJob, cands []planner.Candidate) int {
+	for i, c := range cands {
+		if c.Site.Name == p.site {
+			return i
+		}
+	}
+	return 0
+}
+
+// A job evicted on one pool site is re-resolved and resubmitted to the
+// sibling: the rescue road out of a preemption storm. The stable site has
+// everything preinstalled, so the re-sited attempts must lose their
+// install step.
+func TestCrossSiteFailoverEscapesEvictionStorm(t *testing.T) {
+	cats, plan := twoSiteWorld(t, 12)
+	pool, err := NewMultiExecutor([]Config{
+		{Name: "stable", Slots: 8, SpeedFactor: 1, Seed: 3},
+		{Name: "flaky", Slots: 8, SpeedFactor: 1, Seed: 3,
+			// Mean time to eviction 100 s against 500 s jobs: almost no
+			// first attempt survives.
+			EvictionRate: 1.0 / 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := planner.NewFailover(cats, plan.Sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(plan, pool, engine.Options{RetryLimit: 6, Retry: fo.Resite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("run failed: %d unfinished, %d permanently failed",
+			len(res.Unfinished), len(res.PermanentlyFailed))
+	}
+	if res.Evictions == 0 {
+		t.Fatal("eviction storm produced no evictions")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no failovers despite evictions and a sibling site")
+	}
+	if res.Failovers > res.Retries {
+		t.Errorf("Failovers %d exceeds Retries %d", res.Failovers, res.Retries)
+	}
+	successBySite := map[string]int{}
+	for _, r := range res.Log.Records() {
+		if r.Status != kickstart.StatusSuccess {
+			continue
+		}
+		successBySite[r.Site]++
+		if r.Site == "stable" && r.Setup() != 0 {
+			t.Errorf("job %s paid an install on the preinstalled stable site", r.JobID)
+		}
+	}
+	if successBySite["stable"] == 0 {
+		t.Errorf("no successes on the failover target: %v", successBySite)
+	}
+}
+
+// Without a retry policy the same storm keeps retrying in place and burns
+// the whole retry budget on the flaky site — the bound failover beats.
+func TestSameSiteRetryStaysInStorm(t *testing.T) {
+	_, plan := twoSiteWorld(t, 12)
+	pool, err := NewMultiExecutor([]Config{
+		{Name: "stable", Slots: 8, SpeedFactor: 1, Seed: 3},
+		{Name: "flaky", Slots: 8, SpeedFactor: 1, Seed: 3, EvictionRate: 1.0 / 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(plan, pool, engine.Options{RetryLimit: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Log.Records() {
+		if r.Site != "flaky" {
+			t.Fatalf("same-site retry ran an attempt at %s", r.Site)
+		}
+	}
+	if res.Failovers != 0 {
+		t.Errorf("Failovers = %d without a policy", res.Failovers)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pegflow/internal/engine"
+	"pegflow/internal/fifo"
 	"pegflow/internal/planner"
 	"pegflow/internal/sim/des"
 )
@@ -23,7 +24,7 @@ type MultiExecutor struct {
 	sim     *des.Simulation
 	sites   map[string]*Executor
 	order   []string
-	pending []engine.Event
+	pending fifo.Queue[engine.Event]
 }
 
 // NewMultiExecutor builds a shared-clock pool from the given platform
@@ -44,7 +45,7 @@ func NewMultiExecutor(cfgs []Config) (*MultiExecutor, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.emit = func(ev engine.Event) { m.pending = append(m.pending, ev) }
+		e.emit = func(ev engine.Event) { m.pending.Push(ev) }
 		m.sites[cfg.Name] = e
 		m.order = append(m.order, cfg.Name)
 	}
@@ -88,14 +89,12 @@ func (m *MultiExecutor) site(job *planner.Job) *Executor {
 
 // Next advances shared virtual time until a job event is available.
 func (m *MultiExecutor) Next() engine.Event {
-	for len(m.pending) == 0 {
+	for m.pending.Len() == 0 {
 		if !m.sim.Step() {
 			panic("platform: multi-executor deadlock: no pending events but jobs outstanding")
 		}
 	}
-	ev := m.pending[0]
-	m.pending = m.pending[1:]
-	return ev
+	return m.pending.Pop()
 }
 
 // Step executes the next simulation event, returning false when the
@@ -104,7 +103,7 @@ func (m *MultiExecutor) Next() engine.Event {
 func (m *MultiExecutor) Step() bool { return m.sim.Step() }
 
 // PendingEvents reports the number of delivered-but-unconsumed job events.
-func (m *MultiExecutor) PendingEvents() int { return len(m.pending) }
+func (m *MultiExecutor) PendingEvents() int { return m.pending.Len() }
 
 // CheckPlan verifies that every job of the plan targets a pool member.
 func (m *MultiExecutor) CheckPlan(plan *planner.Plan) error {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"pegflow/internal/engine"
+	"pegflow/internal/fifo"
 	"pegflow/internal/kickstart"
 	"pegflow/internal/planner"
 	"pegflow/internal/sim/des"
@@ -169,7 +170,7 @@ type Executor struct {
 	// but a MultiExecutor routes it into a shared queue, and per-job
 	// overrides (SubmitTagged) let an ensemble driver demultiplex.
 	emit      func(engine.Event)
-	pending   []engine.Event
+	pending   fifo.Queue[engine.Event]
 	submitted int
 	nextFree  float64 // submit-host release time for the next submission
 	nodeSeq   int
@@ -182,7 +183,7 @@ func NewExecutor(cfg Config) (*Executor, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.emit = func(ev engine.Event) { e.pending = append(e.pending, ev) }
+	e.emit = func(ev engine.Event) { e.pending.Push(ev) }
 	return e, nil
 }
 
@@ -280,12 +281,24 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 
 	var setupDur float64
 	if job.NeedsInstall {
+		// The install is paid once per grid job: a composite (clustered)
+		// job stages its software stack a single time and all member
+		// payloads share it — the amortization clustering buys.
 		setupDur = e.setup.LogNormalMeanCV(e.cfg.SetupMean, e.cfg.SetupCV)
 		if e.cfg.SetupBytesPerSec > 0 && job.InstallBytes > 0 {
 			setupDur += float64(job.InstallBytes) / e.cfg.SetupBytesPerSec
 		}
 	}
 	execDur := job.ExecSeconds * nodeSpeed
+	if len(job.Members) > 0 {
+		// Members run sequentially on the slot; summing their scaled
+		// durations keeps the per-member records exactly consistent with
+		// the composite's end time.
+		execDur = 0
+		for _, m := range job.Members {
+			execDur += m.ExecSeconds * nodeSpeed
+		}
+	}
 	total := setupDur + execDur
 
 	rec := &kickstart.Record{
@@ -296,6 +309,9 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 		Attempt:        attempt,
 		SubmitTime:     submitTime,
 		SetupStart:     setupStart,
+	}
+	if len(job.Members) > 0 {
+		rec.ClusterID = job.ID
 	}
 
 	evictAt := -1.0
@@ -326,26 +342,74 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 
 	e.sim.After(total, func() {
 		end := e.Now()
+		e.slots.Release(1)
+		if len(job.Members) > 0 {
+			emit(engine.Event{
+				JobID: job.ID, Type: engine.EventFinished, Time: end,
+				Members: memberRecords(job, attempt, e.cfg.Name, node,
+					submitTime, setupStart, setupStart+setupDur, nodeSpeed, end),
+			})
+			return
+		}
 		rec.ExecStart = setupStart + setupDur
 		rec.EndTime = end
 		rec.Status = kickstart.StatusSuccess
-		e.slots.Release(1)
 		emit(engine.Event{
 			JobID: job.ID, Type: engine.EventFinished, Time: end, Record: rec,
 		})
 	})
 }
 
+// memberRecords builds the per-task kickstart records of one successful
+// composite-job attempt. Member 0 carries the shared setup phase; each
+// later member's waiting phase extends until the slot turned to it (it
+// queued behind its siblings on the node) and its own setup is zero — the
+// install was already paid. The last member is pinned to the composite's
+// end time so the records and the engine event agree to the bit.
+func memberRecords(job *planner.Job, attempt int, site, node string,
+	submitTime, setupStart, execStart, nodeSpeed, end float64) []*kickstart.Record {
+	out := make([]*kickstart.Record, 0, len(job.Members))
+	t := execStart
+	for i, m := range job.Members {
+		start := t
+		t += m.ExecSeconds * nodeSpeed
+		rec := &kickstart.Record{
+			JobID:          m.TaskID,
+			Transformation: job.Transformation,
+			Site:           site,
+			Node:           node,
+			Attempt:        attempt,
+			ClusterID:      job.ID,
+			SubmitTime:     submitTime,
+			SetupStart:     setupStart,
+			ExecStart:      start,
+			EndTime:        t,
+			Status:         kickstart.StatusSuccess,
+		}
+		if i > 0 {
+			rec.SetupStart = start
+		}
+		out = append(out, rec)
+	}
+	last := out[len(out)-1]
+	last.EndTime = end
+	if last.ExecStart > end {
+		last.ExecStart = end
+	}
+	if last.SetupStart > last.ExecStart {
+		last.SetupStart = last.ExecStart
+	}
+	return out
+}
+
 // Next advances virtual time until a job event is available.
 func (e *Executor) Next() engine.Event {
-	for len(e.pending) == 0 {
+	for e.pending.Len() == 0 {
 		if !e.sim.Step() {
 			panic("platform: executor deadlock: no pending events but jobs outstanding")
 		}
 	}
-	ev := e.pending[0]
-	e.pending = e.pending[1:]
-	return ev
+	return e.pending.Pop()
 }
 
 var _ engine.Executor = (*Executor)(nil)

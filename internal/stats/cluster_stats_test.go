@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pegflow/internal/kickstart"
+)
+
+func TestPerClusterAccounting(t *testing.T) {
+	log := &kickstart.Log{}
+	add := func(r kickstart.Record) {
+		t.Helper()
+		if err := log.Append(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unclustered record: ignored by PerCluster.
+	add(kickstart.Record{JobID: "solo", Transformation: "t", Site: "osg", Attempt: 1,
+		SubmitTime: 0, SetupStart: 1, ExecStart: 2, EndTime: 3, Status: kickstart.StatusSuccess})
+	// Cluster A: evicted once on osg, then landed on sandhills (failover)
+	// with two members.
+	add(kickstart.Record{JobID: "cA", ClusterID: "cA", Transformation: "t", Site: "osg", Attempt: 1,
+		SubmitTime: 0, SetupStart: 100, ExecStart: 150, EndTime: 150, Status: kickstart.StatusEvicted})
+	add(kickstart.Record{JobID: "task1", ClusterID: "cA", Transformation: "t", Site: "sandhills", Attempt: 2,
+		SubmitTime: 0, SetupStart: 200, ExecStart: 230, EndTime: 280, Status: kickstart.StatusSuccess})
+	add(kickstart.Record{JobID: "task2", ClusterID: "cA", Transformation: "t", Site: "sandhills", Attempt: 2,
+		SubmitTime: 0, SetupStart: 280, ExecStart: 280, EndTime: 320, Status: kickstart.StatusSuccess})
+	// Cluster B: clean landing, three members.
+	for i, d := range []float64{10, 20, 30} {
+		start := 500 + 10.0*float64(i)
+		add(kickstart.Record{JobID: "b" + strings.Repeat("x", i+1), ClusterID: "cB",
+			Transformation: "t", Site: "osg", Attempt: 1,
+			SubmitTime: 400, SetupStart: 500, ExecStart: start, EndTime: start + d,
+			Status: kickstart.StatusSuccess})
+	}
+
+	rows := PerCluster(log)
+	if len(rows) != 2 {
+		t.Fatalf("PerCluster returned %d rows, want 2", len(rows))
+	}
+	a, b := rows[0], rows[1]
+	if a.ClusterID != "cA" || b.ClusterID != "cB" {
+		t.Fatalf("rows not sorted by ClusterID: %q, %q", a.ClusterID, b.ClusterID)
+	}
+	if a.Tasks != 2 || a.Attempts != 2 || a.Evictions != 1 {
+		t.Errorf("cA tasks/attempts/evictions = %d/%d/%d, want 2/2/1", a.Tasks, a.Attempts, a.Evictions)
+	}
+	if a.Site != "sandhills" {
+		t.Errorf("cA final site = %q, want the failover target", a.Site)
+	}
+	if a.ExecSeconds != 90 { // 50 + 40
+		t.Errorf("cA exec = %v, want 90", a.ExecSeconds)
+	}
+	if a.SetupSeconds != 30 { // first member only
+		t.Errorf("cA setup = %v, want 30", a.SetupSeconds)
+	}
+	if a.WaitSeconds != 200 { // first member's waiting
+		t.Errorf("cA wait = %v, want 200", a.WaitSeconds)
+	}
+	if b.Tasks != 3 || b.Attempts != 1 || b.Evictions != 0 || b.ExecSeconds != 60 {
+		t.Errorf("cB = %+v", b)
+	}
+	if b.WaitSeconds != 100 {
+		t.Errorf("cB wait = %v, want 100", b.WaitSeconds)
+	}
+
+	// Unclustered logs yield nothing.
+	empty := &kickstart.Log{}
+	if rows := PerCluster(empty); len(rows) != 0 {
+		t.Errorf("empty log PerCluster = %v", rows)
+	}
+	var sb strings.Builder
+	if err := WritePerCluster(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cA") || !strings.Contains(sb.String(), "CLUSTER") {
+		t.Errorf("WritePerCluster output missing rows:\n%s", sb.String())
+	}
+}

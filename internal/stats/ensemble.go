@@ -26,6 +26,9 @@ type EnsembleWorkflow struct {
 	Retries int `json:"retries"`
 	// Evictions counts attempts ended by preemption.
 	Evictions int `json:"evictions"`
+	// Failovers counts retries re-targeted to a different site by the
+	// cross-site retry policy (a subset of Retries).
+	Failovers int `json:"failovers"`
 }
 
 // EnsembleSite is the per-site utilization row of an ensemble report.
@@ -56,9 +59,10 @@ type EnsembleReport struct {
 	Makespan float64 `json:"makespan_s"`
 	// MeanWorkflowMakespan averages the member completion times.
 	MeanWorkflowMakespan float64 `json:"mean_workflow_makespan_s"`
-	// TotalRetries and TotalEvictions sum over members.
+	// TotalRetries, TotalEvictions and TotalFailovers sum over members.
 	TotalRetries   int `json:"total_retries"`
 	TotalEvictions int `json:"total_evictions"`
+	TotalFailovers int `json:"total_failovers"`
 }
 
 // WriteJSON renders the report as deterministic indented JSON.
@@ -77,17 +81,18 @@ func WriteEnsemble(w io.Writer, r *EnsembleReport) error {
 	fmt.Fprintf(w, "Workflows                    : %12d\n", len(r.Workflows))
 	fmt.Fprintf(w, "Total retries                : %12d\n", r.TotalRetries)
 	fmt.Fprintf(w, "Total evictions              : %12d\n", r.TotalEvictions)
+	fmt.Fprintf(w, "Total failovers              : %12d\n", r.TotalFailovers)
 
 	fmt.Fprintln(w)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "WORKFLOW\tPRIORITY\tSTATUS\tMAKESPAN(s)\tJOBS\tATTEMPTS\tRETRIES\tEVICTIONS")
+	fmt.Fprintln(tw, "WORKFLOW\tPRIORITY\tSTATUS\tMAKESPAN(s)\tJOBS\tATTEMPTS\tRETRIES\tEVICTIONS\tFAILOVERS")
 	for _, wf := range r.Workflows {
 		status := "ok"
 		if !wf.Success {
 			status = "INCOMPLETE"
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%d\t%d\t%d\t%d\n",
-			wf.Name, wf.Priority, status, wf.Makespan, wf.Jobs, wf.Attempts, wf.Retries, wf.Evictions)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+			wf.Name, wf.Priority, status, wf.Makespan, wf.Jobs, wf.Attempts, wf.Retries, wf.Evictions, wf.Failovers)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

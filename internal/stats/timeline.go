@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -136,8 +137,14 @@ func SiteBreakdown(log *kickstart.Log) map[string]TaskStats {
 }
 
 // Percentile returns the p-th percentile (0-100) of the values produced
-// by f over successful attempts (nearest-rank).
+// by f over successful attempts (nearest-rank). An empty log — or one with
+// no successes — yields 0; p is clamped to [0, 100], and a NaN p (a
+// 0/0 from some upstream ratio) also yields 0 rather than an
+// implementation-defined float→int conversion.
 func Percentile(log *kickstart.Log, p float64, f func(*kickstart.Record) float64) float64 {
+	if math.IsNaN(p) {
+		return 0
+	}
 	var vs []float64
 	for _, r := range log.Successes() {
 		vs = append(vs, f(r))
