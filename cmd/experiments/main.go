@@ -7,6 +7,7 @@
 // Usage:
 //
 //	experiments [-seed N] [-workers N] [-fig 4|5|ablations|all]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -14,9 +15,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"pegflow/internal/core"
+	"pegflow/internal/kickstart"
 	"pegflow/internal/planner"
 	"pegflow/internal/stats"
 	"pegflow/internal/workflow"
@@ -30,64 +33,87 @@ func main() {
 	fig := flag.String("fig", "all", "which artifact to regenerate: 4, 5, ablations, cloud, seeds, ensemble, cluster, all")
 	benchOut := flag.String("bench-out", "",
 		"with -fig cluster (or all): also write the sweep as JSON to this file (e.g. BENCH_cluster.json)")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a pprof CPU profile of the run to this file (go tool pprof <binary> <file>)")
+	memprofile := flag.String("memprofile", "",
+		"write a pprof heap profile taken after the run to this file")
 	flag.Parse()
 
-	e := core.DefaultExperiment(*seed)
-	e.Workers = *workers
-	switch *fig {
-	case "4":
-		if err := fig4(e); err != nil {
+	// Profiles are started/flushed without defers: run errors must still
+	// exit non-zero AFTER the CPU profile is stopped and the heap profile
+	// written, or failed runs would leave truncated profiles behind.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
 			fatal(err)
 		}
-	case "5":
-		if err := fig5(e); err != nil {
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
-	case "ablations":
-		if err := ablations(e); err != nil {
-			fatal(err)
-		}
-	case "cloud":
-		if err := cloud(e); err != nil {
-			fatal(err)
-		}
-	case "seeds":
-		if err := seedsSweep(*seed); err != nil {
-			fatal(err)
-		}
-	case "ensemble":
-		if err := ensembleSweep(*seed); err != nil {
-			fatal(err)
-		}
-	case "cluster":
-		if err := clusterSweep(*seed, *benchOut); err != nil {
-			fatal(err)
-		}
-	case "all":
-		if err := fig4(e); err != nil {
-			fatal(err)
-		}
-		if err := fig5(e); err != nil {
-			fatal(err)
-		}
-		if err := ablations(e); err != nil {
-			fatal(err)
-		}
-		if err := cloud(e); err != nil {
-			fatal(err)
-		}
-		if err := seedsSweep(*seed); err != nil {
-			fatal(err)
-		}
-		if err := ensembleSweep(*seed); err != nil {
-			fatal(err)
-		}
-		if err := clusterSweep(*seed, *benchOut); err != nil {
-			fatal(err)
-		}
-	default:
-		fatal(fmt.Errorf("unknown -fig %q", *fig))
 	}
+	err := run(*fig, *seed, *benchOut)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if perr := writeMemProfile(*memprofile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func run(fig string, seed uint64, benchOut string) error {
+	e := core.DefaultExperiment(seed)
+	e.Workers = *workers
+	switch fig {
+	case "4":
+		return fig4(e)
+	case "5":
+		return fig5(e)
+	case "ablations":
+		return ablations(e)
+	case "cloud":
+		return cloud(e)
+	case "seeds":
+		return seedsSweep(seed)
+	case "ensemble":
+		return ensembleSweep(seed)
+	case "cluster":
+		return clusterSweep(seed, benchOut)
+	case "all":
+		for _, f := range []func() error{
+			func() error { return fig4(e) },
+			func() error { return fig5(e) },
+			func() error { return ablations(e) },
+			func() error { return cloud(e) },
+			func() error { return seedsSweep(seed) },
+			func() error { return ensembleSweep(seed) },
+			func() error { return clusterSweep(seed, benchOut) },
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -fig %q", fig)
+	}
+}
+
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the profile shows retention
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {
@@ -151,6 +177,14 @@ func fig5(e *core.Experiment) error {
 			if err := stats.WritePerTransformation(os.Stdout, r.PerTask); err != nil {
 				return err
 			}
+			// Straggler profile: one batch call extracts and sorts each
+			// metric once for all three quantiles.
+			wait := stats.Percentiles(r.Result.Log,
+				func(rec *kickstart.Record) float64 { return rec.Waiting() }, 50, 90, 99)
+			exec := stats.Percentiles(r.Result.Log,
+				func(rec *kickstart.Record) float64 { return rec.Exec() }, 50, 90, 99)
+			fmt.Printf("waiting p50/p90/p99: %.0f/%.0f/%.0f s   kickstart p50/p90/p99: %.0f/%.0f/%.0f s\n",
+				wait[0], wait[1], wait[2], exec[0], exec[1], exec[2])
 		}
 	}
 	fmt.Println()

@@ -51,25 +51,35 @@ func (e *Experiment) RunVariant(platformName string, n int, v Variant) (*RunResu
 		}, e.Seed)
 	}
 
-	abstract, err := workflow.BuildDAX(workflow.BuilderConfig{N: n, Workload: w, Cost: e.Cost})
-	if err != nil {
-		return nil, err
-	}
-	cats, err := workflow.PaperCatalogs(w, e.SandhillsSlots, e.OSGSlots)
-	if err != nil {
-		return nil, err
-	}
-	if v.PreinstallOSG {
-		cats.Transformations = preinstalledEverywhere(cats.Transformations, platformName)
-	}
-	opts := planner.Options{Site: platformName}
-	if v.ClusterSize > 1 {
-		opts.ClusterSize = v.ClusterSize
-		opts.ClusterTransformations = []string{workflow.TrRunCAP3}
-	}
-	plan, err := planner.New(abstract, cats, opts)
-	if err != nil {
-		return nil, err
+	var plan *planner.Plan
+	if !v.PreinstallOSG && v.ClusterSize <= 1 {
+		// Catalog- and clustering-neutral variants share the plan cache;
+		// a SizeExponent override lands on its own key via w.Params.
+		plan, err = e.cachedWorkflowPlan(platformName, n, w, false)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		abstract, err := workflow.BuildDAX(workflow.BuilderConfig{N: n, Workload: w, Cost: e.Cost})
+		if err != nil {
+			return nil, err
+		}
+		cats, err := workflow.PaperCatalogs(w, e.SandhillsSlots, e.OSGSlots)
+		if err != nil {
+			return nil, err
+		}
+		if v.PreinstallOSG {
+			cats.Transformations = preinstalledEverywhere(cats.Transformations, platformName)
+		}
+		opts := planner.Options{Site: platformName}
+		if v.ClusterSize > 1 {
+			opts.ClusterSize = v.ClusterSize
+			opts.ClusterTransformations = []string{workflow.TrRunCAP3}
+		}
+		plan, err = planner.New(abstract, cats, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ex, err := platform.NewExecutor(cfg)
 	if err != nil {

@@ -31,17 +31,11 @@ func (e *Experiment) RunClustered(platformName string, n int, copts planner.Clus
 	}
 	cfg.Seed = e.Seed ^ (uint64(n) * 0x9e3779b97f4a7c15)
 
-	abstract, err := workflow.BuildDAX(workflow.BuilderConfig{
-		N: n, Workload: e.Workload, Cost: e.Cost,
-	})
-	if err != nil {
-		return nil, err
-	}
-	cats, err := workflow.PaperCatalogs(e.Workload, e.SandhillsSlots, e.OSGSlots)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := planner.New(abstract, cats, planner.Options{Site: platformName})
+	// The plan cache pays DAX construction and catalog resolution once per
+	// (platform, n) shape; this retrieval clones the master and patches in
+	// this seed's chunk runtimes. Clustering runs per retrieval: with
+	// TargetJobSeconds the packing depends on the seeded runtimes.
+	plan, err := e.cachedWorkflowPlan(platformName, n, e.Workload, false)
 	if err != nil {
 		return nil, err
 	}

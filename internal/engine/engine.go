@@ -5,7 +5,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -109,84 +108,121 @@ type Result struct {
 	// Failovers counts retries the retry policy re-targeted to a
 	// different site (a subset of Retries).
 	Failovers int
+
+	// rescue is the sorted rescue workflow, computed once at end-of-run
+	// so RescueWorkflow is a copy, not a re-sort, per call.
+	rescue []string
 }
 
 // RescueWorkflow returns the IDs that a rescue DAG would contain: all jobs
 // not completed, in a deterministic order.
 func (r *Result) RescueWorkflow() []string {
-	out := append([]string(nil), r.Unfinished...)
-	sort.Strings(out)
-	return out
+	if r.rescue == nil && len(r.Unfinished) > 0 {
+		// Hand-assembled Result (tests): fall back to sorting here.
+		out := append([]string(nil), r.Unfinished...)
+		sort.Strings(out)
+		return out
+	}
+	return append([]string(nil), r.rescue...)
+}
+
+// readyItem is one entry of the ready queue, stored by value.
+type readyItem struct {
+	job *planner.Job
+	pos int32 // dense index position of the job
+	seq int32
 }
 
 // readyQueue orders ready jobs by priority (higher first), breaking ties
-// by submission sequence (FIFO).
+// by submission sequence (FIFO). It is a hand-rolled binary heap of values
+// — container/heap's interface would box every item through `any`,
+// allocating on each push in the engine's hot loop.
 type readyQueue struct {
-	items []*readyItem
+	items []readyItem
+	seq   int32
 }
 
-type readyItem struct {
-	job *planner.Job
-	seq int
-}
-
-func (q readyQueue) Len() int { return len(q.items) }
-func (q readyQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
+func (q *readyQueue) less(a, b readyItem) bool {
 	if a.job.Priority != b.job.Priority {
 		return a.job.Priority > b.job.Priority
 	}
 	return a.seq < b.seq
 }
-func (q readyQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *readyQueue) Push(x any)   { q.items = append(q.items, x.(*readyItem)) }
-func (q *readyQueue) Pop() any {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	q.items = old[:n-1]
-	return it
+
+func (q *readyQueue) push(job *planner.Job, pos int32) {
+	q.items = append(q.items, readyItem{job: job, pos: pos, seq: q.seq})
+	q.seq++
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *readyQueue) pop() readyItem {
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = readyItem{}
+	q.items = q.items[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(q.items[right], q.items[left]) {
+			smallest = right
+		}
+		if !q.less(q.items[smallest], q.items[i]) {
+			break
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+	return top
 }
 
 // Run executes the plan on the executor.
+//
+// Per-job bookkeeping is index-addressed: the plan's dense Index interns
+// job IDs to contiguous integers at plan time, so the dispatch loop runs
+// on slices (indegree, attempts, completion) with a single map lookup per
+// executor event instead of four string-map probes per dispatch.
 func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
-	order, err := plan.Graph.TopoSort()
+	idx, err := plan.Indexed()
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
+	n := len(idx.Order)
 
-	indeg := make(map[string]int, len(order))
-	for _, id := range order {
-		indeg[id] = len(plan.Graph.Parents(id))
-	}
-
-	res := &Result{Log: &kickstart.Log{}}
-	ready := &readyQueue{}
-	seq := 0
-	pushReady := func(id string) {
-		heap.Push(ready, &readyItem{job: plan.Job(id), seq: seq})
-		seq++
-	}
-	for _, id := range order {
-		if indeg[id] == 0 {
-			pushReady(id)
-		}
-	}
-
-	attempts := make(map[string]int, len(order))
-	done := make(map[string]bool, len(order))
+	indeg := append([]int32(nil), idx.Indegree...)
+	attempts := make([]int, n)
+	done := make([]bool, n)
 	// resited tracks jobs the retry policy re-targeted, so later retries
 	// start from the job as last submitted (the plan itself is never
 	// mutated — it may be shared or reused).
-	resited := make(map[string]*planner.Job)
-	inflight := 0
+	var resited []*planner.Job
 
+	res := &Result{Log: &kickstart.Log{}}
+	ready := &readyQueue{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready.push(plan.JobAt(int32(i)), int32(i))
+		}
+	}
+
+	inflight := 0
 	submit := func() {
-		for ready.Len() > 0 && (opts.MaxActive == 0 || inflight < opts.MaxActive) {
-			it := heap.Pop(ready).(*readyItem)
-			attempts[it.job.ID]++
-			ex.Submit(it.job, attempts[it.job.ID])
+		for len(ready.items) > 0 && (opts.MaxActive == 0 || inflight < opts.MaxActive) {
+			it := ready.pop()
+			attempts[it.pos]++
+			ex.Submit(it.job, attempts[it.pos])
 			inflight++
 		}
 	}
@@ -208,44 +244,50 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 		if ev.Time > res.Makespan {
 			res.Makespan = ev.Time
 		}
+		pos, ok := idx.ByID[ev.JobID]
+		if !ok {
+			return nil, fmt.Errorf("engine: executor reported unknown job %q", ev.JobID)
+		}
 		switch ev.Type {
 		case EventFinished:
-			done[ev.JobID] = true
-			for _, child := range plan.Graph.Children(ev.JobID) {
+			done[pos] = true
+			for _, child := range idx.Children[pos] {
 				indeg[child]--
 				if indeg[child] == 0 {
-					pushReady(child)
+					ready.push(plan.JobAt(child), child)
 				}
 			}
 		case EventFailed, EventEvicted:
 			if ev.Type == EventEvicted {
 				res.Evictions++
 			}
-			if attempts[ev.JobID] <= opts.RetryLimit {
+			if attempts[pos] <= opts.RetryLimit {
 				// Resubmit; the attempt counter increments on submit.
 				res.Retries++
-				job := plan.Job(ev.JobID)
-				if cur := resited[ev.JobID]; cur != nil {
-					job = cur
+				job := plan.JobAt(pos)
+				if resited != nil && resited[pos] != nil {
+					job = resited[pos]
 				}
 				if opts.Retry != nil {
 					lastSite := job.Site
 					if ev.Record != nil && ev.Record.Site != "" {
 						lastSite = ev.Record.Site
 					}
-					if nj := opts.Retry(job, attempts[ev.JobID], lastSite, ev.Type == EventEvicted); nj != nil {
+					if nj := opts.Retry(job, attempts[pos], lastSite, ev.Type == EventEvicted); nj != nil {
 						if nj.ID != job.ID {
 							return nil, fmt.Errorf("engine: retry policy renamed job %q to %q", job.ID, nj.ID)
 						}
 						if nj.Site != job.Site {
 							res.Failovers++
 						}
-						resited[ev.JobID] = nj
+						if resited == nil {
+							resited = make([]*planner.Job, n)
+						}
+						resited[pos] = nj
 						job = nj
 					}
 				}
-				heap.Push(ready, &readyItem{job: job, seq: seq})
-				seq++
+				ready.push(job, pos)
 			} else {
 				res.PermanentlyFailed = append(res.PermanentlyFailed, ev.JobID)
 			}
@@ -255,8 +297,8 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 		submit()
 	}
 
-	for _, id := range order {
-		if done[id] {
+	for i, id := range idx.Order {
+		if done[i] {
 			res.Completed = append(res.Completed, id)
 		} else {
 			res.Unfinished = append(res.Unfinished, id)
@@ -264,5 +306,7 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 	}
 	res.Success = len(res.Unfinished) == 0
 	sort.Strings(res.PermanentlyFailed)
+	res.rescue = append([]string(nil), res.Unfinished...)
+	sort.Strings(res.rescue)
 	return res, nil
 }

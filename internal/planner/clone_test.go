@@ -1,0 +1,113 @@
+package planner
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// snapshot captures everything observable about a plan for deep-equality
+// comparison: job attributes, graph structure, and topological index.
+func snapshot(t *testing.T, p *Plan) map[string]any {
+	t.Helper()
+	out := map[string]any{
+		"site":  p.Site,
+		"sites": append([]string(nil), p.Sites...),
+	}
+	idx, err := p.Indexed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["order"] = append([]string(nil), idx.Order...)
+	for _, id := range idx.Order {
+		j := p.Info[id]
+		out["job/"+id] = *j.clone() // deep value copy of the planned job
+		gj := p.Graph.Job(id)
+		out["graph/"+id] = *gj.Clone()
+		out["parents/"+id] = p.Graph.Parents(id)
+		out["children/"+id] = p.Graph.Children(id)
+	}
+	return out
+}
+
+// mutate applies one random deep mutation to the plan, exercising every
+// layer a clone must have copied: job scalar fields, job slices, graph job
+// usages, and graph edges.
+func mutate(t *testing.T, p *Plan, r *rand.Rand) {
+	t.Helper()
+	idx, err := p.Indexed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := idx.Order[r.Intn(len(idx.Order))]
+	j := p.Info[id]
+	switch r.Intn(6) {
+	case 0:
+		j.ExecSeconds += 17.5
+	case 1:
+		j.Args = append(j.Args, "--mutated")
+	case 2:
+		j.Site = "elsewhere"
+		j.NeedsInstall = !j.NeedsInstall
+	case 3:
+		j.Members = append(j.Members, Member{TaskID: "ghost", ExecSeconds: 1})
+		j.Tasks = append(j.Tasks, "ghost")
+	case 4:
+		gj := p.Graph.Job(id)
+		gj.SetProfile("pegasus", "runtime", "999")
+		if len(gj.Uses) > 0 {
+			gj.Uses[0].Size += 1
+		}
+	case 5:
+		// Add a fresh job and an edge: structural graph growth.
+		nid := fmt.Sprintf("extra_%d", r.Int63())
+		p.Graph.NewJob(nid, "t")
+		p.Info[nid] = &Job{ID: nid, Transformation: "t", Site: j.Site}
+		if err := p.Graph.AddDependency(id, nid); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlanCloneDeeplyIndependent is the clone property test: for many
+// random mutation sequences, mutating a clone never changes the original
+// and mutating the original never changes the clone.
+func TestPlanCloneDeeplyIndependent(t *testing.T) {
+	cats := testCatalogs(t, "split", "run_cap3", "merge")
+	r := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		site := []string{"sandhills", "osg"}[round%2]
+		plan, err := New(fanWorkflow(t, 3+r.Intn(5)), cats, Options{Site: site})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round%3 == 0 {
+			plan, err = Cluster(plan, ClusterOptions{MaxTasksPerJob: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		before := snapshot(t, plan)
+		clone := plan.Clone()
+		if !reflect.DeepEqual(before, snapshot(t, clone)) {
+			t.Fatalf("round %d: clone does not reproduce the original", round)
+		}
+		for m := 0; m < 5; m++ {
+			mutate(t, clone, r)
+		}
+		if !reflect.DeepEqual(before, snapshot(t, plan)) {
+			t.Fatalf("round %d: mutating the clone changed the original", round)
+		}
+
+		// And the other direction: the clone must survive original edits.
+		cloneBefore := snapshot(t, clone)
+		for m := 0; m < 5; m++ {
+			mutate(t, plan, r)
+		}
+		if !reflect.DeepEqual(cloneBefore, snapshot(t, clone)) {
+			t.Fatalf("round %d: mutating the original changed the clone", round)
+		}
+	}
+}

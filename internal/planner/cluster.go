@@ -237,7 +237,7 @@ func Cluster(p *Plan, opts ClusterOptions) (*Plan, error) {
 		}
 	}
 
-	if _, err := out.Graph.TopoSort(); err != nil {
+	if err := out.finalize(); err != nil {
 		return nil, fmt.Errorf("planner: clustered workflow broken: %w", err)
 	}
 	return out, nil

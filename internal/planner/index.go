@@ -1,0 +1,139 @@
+// Dense-integer plan indexing: the engine's per-run bookkeeping (indegree
+// counts, attempt counters, completion flags) used to live in string-keyed
+// maps consulted on every dispatch. An Index interns the plan's job IDs to
+// contiguous integers at plan time — topological order, adjacency and
+// indegrees precomputed once — so the engine's hot loop runs on
+// index-addressed slices with a single map lookup per executor event.
+//
+// The Index captures topology only (IDs, edges, degrees) and is immutable
+// after construction, so a cloned plan shares its parent's Index while
+// owning independent job attributes.
+
+package planner
+
+import (
+	"fmt"
+)
+
+// Index is the dense-integer view of a plan's DAG. Positions follow the
+// deterministic topological order of the graph (Kahn's algorithm with
+// insertion-order tie-breaking, exactly dax.Workflow.TopoSort); children
+// of each position appear in sorted-ID order, matching the iteration order
+// the engine previously obtained from Graph.Children. An Index is
+// immutable once built and safe for concurrent readers.
+type Index struct {
+	// Order holds the job IDs in topological order; Order[i] is the job at
+	// position i.
+	Order []string
+	// ByID maps a job ID to its position.
+	ByID map[string]int32
+	// Children lists, per position, the positions of the job's children in
+	// sorted-ID order.
+	Children [][]int32
+	// Indegree is the number of parents per position.
+	Indegree []int32
+	// edges snapshots Graph.Edges() at build time for staleness detection.
+	edges int
+}
+
+// Indexed returns the plan's dense index, building it on first use and
+// rebuilding it if the graph was mutated since (dax workflows only ever
+// grow, so a changed job or edge count is a complete staleness signal).
+// It returns an error when the graph is cyclic. Plans produced by New,
+// NewMulti and Cluster are indexed at construction; hand-assembled plans
+// are indexed lazily here and must not be shared across goroutines before
+// the first call.
+func (p *Plan) Indexed() (*Index, error) {
+	if p.index == nil || len(p.index.Order) != p.Graph.Len() || p.index.edges != p.Graph.Edges() {
+		if err := p.finalize(); err != nil {
+			return nil, err
+		}
+	}
+	return p.index, nil
+}
+
+// JobAt returns the planned job at topological position i of the index.
+func (p *Plan) JobAt(i int32) *Job { return p.jobsByPos[i] }
+
+// finalize validates the executable graph (cycle check via TopoSort) and
+// builds the dense index plus the position-aligned job table.
+func (p *Plan) finalize() error {
+	order, err := p.Graph.TopoSort()
+	if err != nil {
+		return fmt.Errorf("planner: executable workflow broken: %w", err)
+	}
+	idx := &Index{
+		Order:    order,
+		ByID:     make(map[string]int32, len(order)),
+		Children: make([][]int32, len(order)),
+		Indegree: make([]int32, len(order)),
+		edges:    p.Graph.Edges(),
+	}
+	for i, id := range order {
+		idx.ByID[id] = int32(i)
+	}
+	for i, id := range order {
+		idx.Indegree[i] = int32(len(p.Graph.Parents(id)))
+		kids := p.Graph.Children(id)
+		if len(kids) == 0 {
+			continue
+		}
+		cs := make([]int32, len(kids))
+		for k, c := range kids {
+			cs[k] = idx.ByID[c]
+		}
+		idx.Children[i] = cs
+	}
+	p.index = idx
+	return p.reindexJobs()
+}
+
+// reindexJobs (re)builds the position-aligned job table from Info.
+func (p *Plan) reindexJobs() error {
+	jobs := make([]*Job, len(p.index.Order))
+	for i, id := range p.index.Order {
+		j := p.Info[id]
+		if j == nil {
+			return fmt.Errorf("planner: job %q has no planning info", id)
+		}
+		jobs[i] = j
+	}
+	p.jobsByPos = jobs
+	return nil
+}
+
+// Clone returns a deep copy of the plan: the graph, the planned jobs and
+// every slice they carry are duplicated, so mutating one plan (including
+// its runtime estimates) never changes the other. The immutable Index is
+// shared, which makes cloning O(jobs + edges) with no re-sorting — the
+// cheap per-use step of the plan cache.
+func (p *Plan) Clone() *Plan {
+	out := &Plan{
+		Graph:     p.Graph.Clone(),
+		Info:      make(map[string]*Job, len(p.Info)),
+		Site:      p.Site,
+		Sites:     append([]string(nil), p.Sites...),
+		SiteEntry: p.SiteEntry,
+		index:     p.index,
+	}
+	for id, j := range p.Info {
+		out.Info[id] = j.clone()
+	}
+	if out.index != nil {
+		if err := out.reindexJobs(); err != nil {
+			// Info and index came from a consistent plan; a mismatch here
+			// is a programming error, not an input error.
+			panic(err)
+		}
+	}
+	return out
+}
+
+// clone deep-copies a planned job, including its Args, Tasks and Members.
+func (j *Job) clone() *Job {
+	cp := *j
+	cp.Args = append([]string(nil), j.Args...)
+	cp.Tasks = append([]string(nil), j.Tasks...)
+	cp.Members = append([]Member(nil), j.Members...)
+	return &cp
+}

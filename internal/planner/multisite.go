@@ -291,8 +291,8 @@ func NewMulti(abstract *dax.Workflow, cats Catalogs, opts MultiOptions) (*Plan, 
 		}
 	}
 
-	if _, err := plan.Graph.TopoSort(); err != nil {
-		return nil, fmt.Errorf("planner: executable workflow broken: %w", err)
+	if err := plan.finalize(); err != nil {
+		return nil, err
 	}
 	return plan, nil
 }

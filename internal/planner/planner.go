@@ -88,6 +88,12 @@ type Plan struct {
 	// SiteEntry is the resolved site catalog entry. It is nil for
 	// multi-site plans, whose jobs resolve sites individually.
 	SiteEntry *catalog.Site
+
+	// index is the immutable dense-integer topology (see Indexed), built
+	// at plan construction and shared with clones.
+	index *Index
+	// jobsByPos aligns this plan's *Job values with index.Order.
+	jobsByPos []*Job
 }
 
 // Jobs returns the plan's jobs in insertion order.
@@ -207,8 +213,8 @@ func New(abstract *dax.Workflow, cats Catalogs, opts Options) (*Plan, error) {
 		}
 	}
 
-	if _, err := plan.Graph.TopoSort(); err != nil {
-		return nil, fmt.Errorf("planner: executable workflow broken: %w", err)
+	if err := plan.finalize(); err != nil {
+		return nil, err
 	}
 	return plan, nil
 }

@@ -1,0 +1,70 @@
+package des
+
+import "testing"
+
+// The allocation regression gate (run by CI as `go test -run 'TestAllocs'`):
+// the slab-backed kernel must not allocate in steady state. Every test
+// warms the arenas to their high-water mark first, then measures.
+
+func TestAllocsScheduleFire(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		s.After(float64(i), fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(1, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule→fire steady state allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsScheduleFireDeepQueue(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		s.After(float64(i+1), fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(300, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("deep-queue schedule→fire allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsCancel(t *testing.T) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		s.Cancel(s.After(float64(i), fn))
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Cancel(s.After(1, fn))
+	})
+	if allocs != 0 {
+		t.Errorf("schedule→cancel allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestAllocsResourceAcquireRelease(t *testing.T) {
+	s := New()
+	r := NewResource(s, 1)
+	fn := func() { r.Release(1) }
+	for i := 0; i < 128; i++ {
+		r.Acquire(1, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Acquire(1, fn)
+		for s.Step() {
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("acquire→grant→release allocates %.1f/op, want 0", allocs)
+	}
+}

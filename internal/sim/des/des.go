@@ -8,10 +8,17 @@
 // The kernel is deliberately single-threaded: platform models built on top
 // of it are ordinary sequential Go code, which makes them easy to test and
 // bit-reproducible.
+//
+// Events live by value in a slab: a growable arena of event records indexed
+// by a binary heap of slot numbers, with freed slots recycled through a
+// free list. Steady-state scheduling therefore allocates nothing — the
+// arena, heap and free list all reach a high-water mark and are reused.
+// Callers hold EventID handles (slot + generation) instead of pointers; a
+// stale handle (its event already fired or canceled) is detected by the
+// generation check and every operation on it is a safe no-op.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -26,63 +33,38 @@ func (t Time) Seconds() float64 { return float64(t) }
 // String formats the time as seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 
-// Event is a scheduled callback. It is returned by the scheduling methods
-// so callers can cancel it later.
-type Event struct {
-	at     Time
-	seq    uint64
-	index  int // heap index; -1 when not queued
-	fn     func()
-	cancel bool
+// EventID is a handle for a scheduled callback, returned by the scheduling
+// methods so callers can cancel or inspect the event later. The zero
+// EventID is invalid and never matches a live event. Handles are
+// generation-checked: once the event fires or is canceled its slot may be
+// reused, and the old handle stops matching.
+type EventID struct {
+	slot int32
+	gen  uint32
 }
 
-// Time returns the virtual time at which the event fires.
-func (e *Event) Time() Time { return e.at }
-
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.cancel }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// event is one slab entry. Slots are reused; gen increments on every
+// release so stale EventIDs cannot alias a later event in the same slot.
+// (A slot's generation wraps after ~4 billion reuses; a collision would
+// additionally need a caller holding a handle across that entire span.)
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	gen  uint32
+	hpos int32 // index in the heap array; -1 when not queued
 }
 
 // Simulation is a discrete-event simulator instance.
 type Simulation struct {
 	now     Time
-	queue   eventQueue
+	events  []event // slab arena; index = EventID.slot
+	free    []int32 // recycled arena slots
+	heap    []int32 // binary heap of arena slots, ordered by (at, seq)
 	seq     uint64
 	stopped bool
 	// processed counts events executed; useful for tests and loop guards.
 	processed uint64
-	// canceled counts canceled events still occupying queue slots.
-	// Cancellation is lazy (O(1)): entries are discarded when they reach
-	// the heap head, so every loop that peeks the head must skip them.
-	canceled int
 }
 
 // New returns a simulation with the clock at zero.
@@ -98,76 +80,107 @@ func (s *Simulation) Processed() uint64 { return s.processed }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a model bug.
-func (s *Simulation) At(t Time, fn func()) *Event {
+func (s *Simulation) At(t Time, fn func()) EventID {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(float64(t)) {
 		panic("des: scheduling event at NaN time")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.events = append(s.events, event{gen: 1})
+		slot = int32(len(s.events) - 1)
+	}
+	e := &s.events[slot]
+	e.at, e.seq, e.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.heapPush(slot)
+	return EventID{slot: slot, gen: e.gen}
 }
 
 // After schedules fn to run d seconds after the current time. Negative
 // delays are clamped to zero.
-func (s *Simulation) After(d float64, fn func()) *Event {
+func (s *Simulation) After(d float64, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+Time(d), fn)
 }
 
-// Cancel withdraws a pending event in O(1). The entry stays in the queue
-// (marked dead, its callback released) and is discarded when it reaches the
-// head. Canceling an already-fired or already-canceled event is a no-op.
-func (s *Simulation) Cancel(e *Event) {
-	if e == nil || e.cancel {
+// lookup resolves a handle to its live slab entry, or nil when the handle
+// is stale (event fired, canceled, or never existed).
+func (s *Simulation) lookup(id EventID) *event {
+	if id.slot < 0 || int(id.slot) >= len(s.events) {
+		return nil
+	}
+	e := &s.events[id.slot]
+	if e.gen != id.gen || e.hpos < 0 {
+		return nil
+	}
+	return e
+}
+
+// Cancel withdraws a pending event in O(log n), removing it from the queue
+// and recycling its slot. Canceling an already-fired, already-canceled or
+// zero handle is a no-op.
+func (s *Simulation) Cancel(id EventID) {
+	e := s.lookup(id)
+	if e == nil {
 		return
 	}
-	e.cancel = true
-	e.fn = nil
-	if e.index >= 0 {
-		s.canceled++
+	s.heapRemove(e.hpos)
+	s.release(id.slot)
+}
+
+// Live reports whether the handle's event is still scheduled (not yet
+// fired and not canceled).
+func (s *Simulation) Live(id EventID) bool { return s.lookup(id) != nil }
+
+// EventTime returns the virtual time at which the handle's event will fire.
+// The second result is false when the handle is stale.
+func (s *Simulation) EventTime(id EventID) (Time, bool) {
+	e := s.lookup(id)
+	if e == nil {
+		return 0, false
 	}
+	return e.at, true
+}
+
+// release recycles an arena slot after its event fired or was canceled.
+func (s *Simulation) release(slot int32) {
+	e := &s.events[slot]
+	e.fn = nil
+	e.gen++
+	e.hpos = -1
+	s.free = append(s.free, slot)
 }
 
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulation) Stop() { s.stopped = true }
 
-// Pending returns the number of live (non-canceled) events waiting in the
-// queue.
-func (s *Simulation) Pending() int { return len(s.queue) - s.canceled }
+// Pending returns the number of events waiting in the queue.
+func (s *Simulation) Pending() int { return len(s.heap) }
 
-// peek discards canceled entries that have reached the heap head and
-// returns the next live event without executing it, or nil when none
-// remain. Every deadline or emptiness check must go through peek — reading
-// queue[0] directly would see dead entries and mis-gate the loop.
-func (s *Simulation) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.cancel {
-			return e
-		}
-		heap.Pop(&s.queue)
-		s.canceled--
-	}
-	return nil
-}
-
-// Step executes the single next live event, advancing the clock to its
-// time. It returns false when no live events remain.
+// Step executes the single next event, advancing the clock to its time. It
+// returns false when no events remain.
 func (s *Simulation) Step() bool {
-	e := s.peek()
-	if e == nil {
+	if len(s.heap) == 0 {
 		return false
 	}
-	heap.Pop(&s.queue)
+	slot := s.heap[0]
+	s.heapRemove(0)
+	e := &s.events[slot]
 	s.now = e.at
 	s.processed++
-	e.fn()
+	fn := e.fn
+	// Release before running fn: the callback may schedule new events and
+	// is allowed to reuse this slot immediately.
+	s.release(slot)
+	fn()
 	return true
 }
 
@@ -179,14 +192,11 @@ func (s *Simulation) Run() {
 }
 
 // RunUntil executes events with time ≤ t, then advances the clock to t.
-// Events scheduled exactly at t are executed. The guard peeks the next
-// *live* event: a canceled entry sitting at the heap head must not let the
-// loop fire an event scheduled past the deadline.
+// Events scheduled exactly at t are executed.
 func (s *Simulation) RunUntil(t Time) {
 	s.stopped = false
 	for !s.stopped {
-		e := s.peek()
-		if e == nil || e.at > t {
+		if len(s.heap) == 0 || s.events[s.heap[0]].at > t {
 			break
 		}
 		s.Step()
@@ -194,4 +204,78 @@ func (s *Simulation) RunUntil(t Time) {
 	if !s.stopped && t > s.now {
 		s.now = t
 	}
+}
+
+// --- indexed binary heap over arena slots ---
+
+// less orders heap entries by (time, scheduling sequence).
+func (s *Simulation) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (s *Simulation) heapPush(slot int32) {
+	s.heap = append(s.heap, slot)
+	i := int32(len(s.heap) - 1)
+	s.events[slot].hpos = i
+	s.siftUp(i)
+}
+
+// heapRemove deletes the entry at heap position i, restoring heap order.
+func (s *Simulation) heapRemove(i int32) {
+	last := int32(len(s.heap) - 1)
+	s.events[s.heap[i]].hpos = -1
+	if i != last {
+		moved := s.heap[last]
+		s.heap[i] = moved
+		s.events[moved].hpos = i
+		s.heap = s.heap[:last]
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+		return
+	}
+	s.heap = s.heap[:last]
+}
+
+func (s *Simulation) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.heap[i], s.heap[parent]) {
+			return
+		}
+		s.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores heap order below i, reporting whether anything moved.
+func (s *Simulation) siftDown(i int32) bool {
+	moved := false
+	n := int32(len(s.heap))
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return moved
+		}
+		smallest := left
+		if right := left + 1; right < n && s.less(s.heap[right], s.heap[left]) {
+			smallest = right
+		}
+		if !s.less(s.heap[smallest], s.heap[i]) {
+			return moved
+		}
+		s.heapSwap(i, smallest)
+		i = smallest
+		moved = true
+	}
+}
+
+func (s *Simulation) heapSwap(i, j int32) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.events[s.heap[i]].hpos = i
+	s.events[s.heap[j]].hpos = j
 }

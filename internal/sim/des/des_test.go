@@ -85,17 +85,20 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.At(3, func() { fired = true })
+	if !s.Live(e) {
+		t.Error("Live() = false before Cancel")
+	}
 	s.Cancel(e)
 	s.Run()
 	if fired {
 		t.Error("canceled event fired")
 	}
-	if !e.Canceled() {
-		t.Error("Canceled() = false after Cancel")
+	if s.Live(e) {
+		t.Error("Live() = true after Cancel")
 	}
-	// Double cancel and canceling nil are no-ops.
+	// Double cancel and canceling a zero handle are no-ops.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(EventID{})
 }
 
 func TestCancelFromEarlierEvent(t *testing.T) {
@@ -211,7 +214,7 @@ func TestRunUntilManyCanceledHeads(t *testing.T) {
 // discarded yet or not.
 func TestPendingExcludesCanceled(t *testing.T) {
 	s := New()
-	var events []*Event
+	var events []EventID
 	for i := 1; i <= 6; i++ {
 		events = append(events, s.At(Time(i), func() {}))
 	}
@@ -239,7 +242,7 @@ func TestPendingExcludesCanceled(t *testing.T) {
 // must suppress it even though it is already "due".
 func TestCancelSameTimeSibling(t *testing.T) {
 	s := New()
-	var e2 *Event
+	var e2 EventID
 	s.At(3, func() { s.Cancel(e2) })
 	e2 = s.At(3, func() { t.Error("sibling canceled at the same timestamp fired") })
 	s.Run()
@@ -290,10 +293,15 @@ func TestPropertyMonotonicClock(t *testing.T) {
 func TestEventTimeAccessor(t *testing.T) {
 	s := New()
 	e := s.At(4.25, func() {})
-	if e.Time() != 4.25 {
-		t.Errorf("Time() = %v, want 4.25s", e.Time())
+	at, ok := s.EventTime(e)
+	if !ok || at != 4.25 {
+		t.Errorf("EventTime() = %v, %v, want 4.25s, true", at, ok)
 	}
-	if got := e.Time().String(); got != "4.250s" {
+	if got := at.String(); got != "4.250s" {
 		t.Errorf("String() = %q, want \"4.250s\"", got)
+	}
+	s.Run()
+	if _, ok := s.EventTime(e); ok {
+		t.Error("EventTime ok = true after the event fired")
 	}
 }

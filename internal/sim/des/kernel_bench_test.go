@@ -1,0 +1,46 @@
+package des
+
+import "testing"
+
+// BenchmarkScheduleFire measures the schedule→fire hot loop of the kernel:
+// one event scheduled and executed per iteration, steady state.
+func BenchmarkScheduleFire(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(1, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkScheduleFireDepth64 keeps 64 events pending while scheduling and
+// firing, exercising the heap at a realistic queue depth.
+func BenchmarkScheduleFireDepth64(b *testing.B) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(float64(i+1), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(65, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkResourceAcquireRelease measures the slot-pool hot path.
+func BenchmarkResourceAcquireRelease(b *testing.B) {
+	s := New()
+	r := NewResource(s, 1)
+	fn := func() { r.Release(1) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(1, fn)
+		for s.Step() {
+		}
+	}
+}

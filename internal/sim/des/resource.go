@@ -3,17 +3,25 @@ package des
 // Resource models a counted resource (e.g. a pool of CPU slots) with a FIFO
 // wait queue. Acquire requests that cannot be satisfied immediately are
 // queued and granted, in order, as units are released.
+//
+// Requests live by value in a slab arena with a free list, mirroring the
+// kernel's event storage: the FIFO queue holds arena slot numbers, callers
+// hold generation-checked Acquisition handles, and steady-state
+// acquire/grant cycles allocate nothing.
 type Resource struct {
 	sim      *Simulation
 	capacity int
 	inUse    int
-	// waiters is the FIFO wait queue; the live window is waiters[whead:].
-	// Popped slots are nilled immediately (so granted requests are not
-	// pinned by the backing array) and the slice is compacted once the
-	// dead prefix or canceled entries dominate, keeping retention O(live)
-	// across arbitrarily long runs.
-	waiters []*acquireReq
-	whead   int
+	// reqs is the request arena; slots are recycled through freeReqs and
+	// generation-checked so stale Acquisition handles are no-ops.
+	reqs     []acquireReq
+	freeReqs []int32
+	// queue is the FIFO wait queue of arena slots; the live window is
+	// queue[whead:]. The backing array is compacted once the dead prefix
+	// or canceled entries dominate, keeping retention O(live) across
+	// arbitrarily long runs.
+	queue []int32
+	whead int
 	// canceled counts canceled requests still inside the live window.
 	canceled int
 	// Grants counts successful acquisitions, for tests and stats.
@@ -31,26 +39,31 @@ type Resource struct {
 type acquireReq struct {
 	n        int
 	fn       func()
+	gen      uint32
 	canceled bool
-	granted  bool
 }
 
 // Acquisition is a handle for a pending resource request; Cancel withdraws
-// it if it has not yet been granted.
+// it if it has not yet been granted. The zero Acquisition is inert.
 type Acquisition struct {
-	r   *Resource
-	req *acquireReq
+	r    *Resource
+	slot int32
+	gen  uint32
 }
 
 // Cancel withdraws a pending request in O(1); the queue entry is discarded
 // when it reaches the head or at the next compaction. It is a no-op after
-// the grant fired.
-func (a *Acquisition) Cancel() {
-	if a == nil || a.req == nil || a.req.canceled || a.req.granted {
+// the grant fired (the generation check catches recycled slots).
+func (a Acquisition) Cancel() {
+	if a.r == nil {
 		return
 	}
-	a.req.canceled = true
-	a.req.fn = nil
+	req := &a.r.reqs[a.slot]
+	if req.gen != a.gen || req.canceled {
+		return
+	}
+	req.canceled = true
+	req.fn = nil
 	a.r.canceled++
 	a.r.maybeCompact()
 }
@@ -101,7 +114,7 @@ func (r *Resource) Available() int { return r.capacity - r.inUse }
 
 // QueueLen returns the number of pending (non-canceled) requests.
 func (r *Resource) QueueLen() int {
-	return len(r.waiters) - r.whead - r.canceled
+	return len(r.queue) - r.whead - r.canceled
 }
 
 // SetCapacity changes the capacity. Growing the pool wakes queued waiters.
@@ -118,14 +131,24 @@ func (r *Resource) SetCapacity(c int) {
 
 // Acquire requests n units. fn runs (as a scheduled event at the current
 // time, never synchronously) once the units are granted.
-func (r *Resource) Acquire(n int, fn func()) *Acquisition {
+func (r *Resource) Acquire(n int, fn func()) Acquisition {
 	if n <= 0 {
 		panic("des: acquire of non-positive unit count")
 	}
-	req := &acquireReq{n: n, fn: fn}
-	r.waiters = append(r.waiters, req)
+	var slot int32
+	if f := len(r.freeReqs); f > 0 {
+		slot = r.freeReqs[f-1]
+		r.freeReqs = r.freeReqs[:f-1]
+	} else {
+		r.reqs = append(r.reqs, acquireReq{gen: 1})
+		slot = int32(len(r.reqs) - 1)
+	}
+	req := &r.reqs[slot]
+	req.n, req.fn, req.canceled = n, fn, false
+	gen := req.gen
+	r.queue = append(r.queue, slot)
 	r.dispatch()
-	return &Acquisition{r: r, req: req}
+	return Acquisition{r: r, slot: slot, gen: gen}
 }
 
 // Release returns n units to the pool, waking queued waiters.
@@ -141,36 +164,44 @@ func (r *Resource) Release(n int) {
 	r.dispatch()
 }
 
+// releaseReq recycles a request slot once it leaves the queue (granted or
+// canceled-and-discarded), invalidating outstanding handles.
+func (r *Resource) releaseReq(slot int32) {
+	req := &r.reqs[slot]
+	req.fn = nil
+	req.gen++
+	r.freeReqs = append(r.freeReqs, slot)
+}
+
 // popHead drops the current head request from the live window.
 func (r *Resource) popHead() {
-	r.waiters[r.whead] = nil
 	r.whead++
 	r.maybeCompact()
 }
 
-// maybeCompact rewrites the backing array once the dead prefix or canceled
-// mid-queue entries dominate the live requests, preserving FIFO order.
+// maybeCompact rewrites the queue's backing array once the dead prefix or
+// canceled mid-queue entries dominate the live requests, preserving FIFO
+// order and recycling the slots of discarded canceled entries.
 func (r *Resource) maybeCompact() {
-	live := len(r.waiters) - r.whead
+	live := len(r.queue) - r.whead
 	if live == 0 {
-		r.waiters = r.waiters[:0]
+		r.queue = r.queue[:0]
 		r.whead = 0
 		r.canceled = 0
 		return
 	}
-	if r.whead <= len(r.waiters)/2 && r.canceled <= live/2 {
+	if r.whead <= len(r.queue)/2 && r.canceled <= live/2 {
 		return
 	}
-	out := r.waiters[:0]
-	for _, w := range r.waiters[r.whead:] {
-		if w != nil && !w.canceled {
-			out = append(out, w)
+	out := r.queue[:0]
+	for _, slot := range r.queue[r.whead:] {
+		if r.reqs[slot].canceled {
+			r.releaseReq(slot)
+			continue
 		}
+		out = append(out, slot)
 	}
-	for i := len(out); i < len(r.waiters); i++ {
-		r.waiters[i] = nil
-	}
-	r.waiters = out
+	r.queue = out
 	r.whead = 0
 	r.canceled = 0
 }
@@ -179,25 +210,27 @@ func (r *Resource) maybeCompact() {
 // FIFO means a large request at the head blocks smaller ones behind it,
 // like a non-backfilling batch scheduler.
 func (r *Resource) dispatch() {
-	for r.whead < len(r.waiters) {
-		head := r.waiters[r.whead]
+	for r.whead < len(r.queue) {
+		slot := r.queue[r.whead]
+		head := &r.reqs[slot]
 		if head.canceled {
 			r.canceled--
 			r.popHead()
+			r.releaseReq(slot)
 			continue
 		}
 		if r.inUse+head.n > r.capacity {
 			return
 		}
-		head.granted = true
+		fn, n := head.fn, head.n
 		r.popHead()
+		r.releaseReq(slot)
 		r.account()
-		r.inUse += head.n
+		r.inUse += n
 		if r.inUse > r.MaxInUse {
 			r.MaxInUse = r.inUse
 		}
 		r.Grants++
-		fn := head.fn
 		r.sim.After(0, fn)
 	}
 }

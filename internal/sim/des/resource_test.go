@@ -93,7 +93,7 @@ func TestResourceCancelMidQueueChurn(t *testing.T) {
 	r := NewResource(s, 1)
 	r.Acquire(1, func() { s.After(100, func() { r.Release(1) }) })
 	var order []int
-	var keep []*Acquisition
+	var keep []Acquisition
 	for i := 0; i < 200; i++ {
 		i := i
 		a := r.Acquire(1, func() {
@@ -144,8 +144,8 @@ func TestResourceQueueStaysCompact(t *testing.T) {
 	if r.QueueLen() != 0 {
 		t.Fatalf("QueueLen = %d, want 0", r.QueueLen())
 	}
-	if len(r.waiters) != 0 || r.whead != 0 {
-		t.Errorf("internal queue not reset: len=%d whead=%d", len(r.waiters), r.whead)
+	if len(r.queue) != 0 || r.whead != 0 {
+		t.Errorf("internal queue not reset: len=%d whead=%d", len(r.queue), r.whead)
 	}
 	if got := int(r.Grants); got != 10000 {
 		t.Errorf("Grants = %d, want 10000", got)

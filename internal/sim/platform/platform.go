@@ -174,6 +174,31 @@ type Executor struct {
 	submitted int
 	nextFree  float64 // submit-host release time for the next submission
 	nodeSeq   int
+	// nodeNames is the precomputed Slots-sized node-name table, so the
+	// per-attempt node label is an index instead of an fmt.Sprintf.
+	nodeNames []string
+	// recs allocates kickstart records in chunks; records live exactly as
+	// long as the run's log, so chunked arena allocation amortizes one
+	// heap allocation over recChunk attempts.
+	recs recArena
+}
+
+// recChunk is the kickstart-record arena chunk size.
+const recChunk = 256
+
+// recArena hands out *kickstart.Record values from append-only chunks.
+// Handed-out pointers stay valid because a chunk is never regrown — when
+// one fills, the arena starts a fresh chunk.
+type recArena struct {
+	chunk []kickstart.Record
+}
+
+func (a *recArena) alloc() *kickstart.Record {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]kickstart.Record, 0, recChunk)
+	}
+	a.chunk = append(a.chunk, kickstart.Record{})
+	return &a.chunk[len(a.chunk)-1]
 }
 
 // NewExecutor builds an executor for the platform configuration with its
@@ -208,6 +233,10 @@ func newExecutorOn(sim *des.Simulation, cfg Config) (*Executor, error) {
 		speed:    base.Derive("speed"),
 		setup:    base.Derive("setup"),
 		evict:    base.Derive("evict"),
+	}
+	e.nodeNames = make([]string, cfg.Slots)
+	for i := range e.nodeNames {
+		e.nodeNames[i] = fmt.Sprintf("%s-node-%04d", cfg.Name, i)
 	}
 	if ramp {
 		for k := 1; k <= cfg.Slots-cfg.InitialSlots; k++ {
@@ -272,7 +301,7 @@ func (e *Executor) submitWith(job *planner.Job, attempt int, emit func(engine.Ev
 func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, emit func(engine.Event)) {
 	setupStart := e.Now()
 	e.nodeSeq++
-	node := fmt.Sprintf("%s-node-%04d", e.cfg.Name, e.nodeSeq%e.cfg.Slots)
+	node := e.nodeNames[e.nodeSeq%e.cfg.Slots]
 
 	nodeSpeed := e.cfg.SpeedFactor
 	if e.cfg.SpeedJitter > 0 {
@@ -301,7 +330,8 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 	}
 	total := setupDur + execDur
 
-	rec := &kickstart.Record{
+	rec := e.recs.alloc()
+	*rec = kickstart.Record{
 		JobID:          job.ID,
 		Transformation: job.Transformation,
 		Site:           e.cfg.Name,
@@ -346,7 +376,7 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 		if len(job.Members) > 0 {
 			emit(engine.Event{
 				JobID: job.ID, Type: engine.EventFinished, Time: end,
-				Members: memberRecords(job, attempt, e.cfg.Name, node,
+				Members: e.memberRecords(job, attempt, node,
 					submitTime, setupStart, setupStart+setupDur, nodeSpeed, end),
 			})
 			return
@@ -366,17 +396,18 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 // queued behind its siblings on the node) and its own setup is zero — the
 // install was already paid. The last member is pinned to the composite's
 // end time so the records and the engine event agree to the bit.
-func memberRecords(job *planner.Job, attempt int, site, node string,
+func (e *Executor) memberRecords(job *planner.Job, attempt int, node string,
 	submitTime, setupStart, execStart, nodeSpeed, end float64) []*kickstart.Record {
 	out := make([]*kickstart.Record, 0, len(job.Members))
 	t := execStart
 	for i, m := range job.Members {
 		start := t
 		t += m.ExecSeconds * nodeSpeed
-		rec := &kickstart.Record{
+		rec := e.recs.alloc()
+		*rec = kickstart.Record{
 			JobID:          m.TaskID,
 			Transformation: job.Transformation,
-			Site:           site,
+			Site:           e.cfg.Name,
 			Node:           node,
 			Attempt:        attempt,
 			ClusterID:      job.ID,

@@ -141,30 +141,52 @@ func SiteBreakdown(log *kickstart.Log) map[string]TaskStats {
 // no successes — yields 0; p is clamped to [0, 100], and a NaN p (a
 // 0/0 from some upstream ratio) also yields 0 rather than an
 // implementation-defined float→int conversion.
+//
+// Callers that need several percentiles of the same metric should use
+// Percentiles, which extracts and sorts the value set once for the whole
+// batch instead of once per quantile.
 func Percentile(log *kickstart.Log, p float64, f func(*kickstart.Record) float64) float64 {
-	if math.IsNaN(p) {
-		return 0
-	}
+	return Percentiles(log, f, p)[0]
+}
+
+// Percentiles returns the requested percentiles (0-100, nearest-rank) of
+// the values produced by f over successful attempts, in the order given.
+// The value set is extracted and sorted exactly once. Edge handling
+// matches Percentile: no successes yields zeros, each p is clamped to
+// [0, 100], and a NaN p yields 0.
+func Percentiles(log *kickstart.Log, f func(*kickstart.Record) float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
 	var vs []float64
 	for _, r := range log.Successes() {
 		vs = append(vs, f(r))
 	}
 	if len(vs) == 0 {
-		return 0
+		return out
 	}
 	sort.Float64s(vs)
+	for i, p := range ps {
+		out[i] = nearestRank(vs, p)
+	}
+	return out
+}
+
+// nearestRank picks the p-th percentile from an ascending-sorted slice.
+func nearestRank(sorted []float64, p float64) float64 {
+	if math.IsNaN(p) {
+		return 0
+	}
 	if p <= 0 {
-		return vs[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return vs[len(vs)-1]
+		return sorted[len(sorted)-1]
 	}
-	idx := int(p/100*float64(len(vs))+0.5) - 1
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(vs) {
-		idx = len(vs) - 1
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
 	}
-	return vs[idx]
+	return sorted[idx]
 }

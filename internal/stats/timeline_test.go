@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -108,5 +109,30 @@ func TestPercentile(t *testing.T) {
 	}
 	if got := Percentile(&kickstart.Log{}, 50, exec); got != 0 {
 		t.Errorf("empty p50 = %v", got)
+	}
+}
+
+// The batch API must agree with repeated single-percentile calls while
+// extracting and sorting only once.
+func TestPercentilesBatchMatchesSingles(t *testing.T) {
+	var recs []*kickstart.Record
+	for _, v := range []float64{9, 3, 41, 7, 22, 5, 13, 1, 30, 17} {
+		recs = append(recs, rec("j", "t", 0, 0, 0, v, kickstart.StatusSuccess, 1))
+	}
+	l := buildLog(t, recs...)
+	exec := func(r *kickstart.Record) float64 { return r.Exec() }
+	ps := []float64{-5, 0, 25, 50, 90, 99, 100, 150, math.NaN()}
+	got := Percentiles(l, exec, ps...)
+	if len(got) != len(ps) {
+		t.Fatalf("Percentiles returned %d values for %d quantiles", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := Percentile(l, p, exec); got[i] != want {
+			t.Errorf("Percentiles[%d] (p=%v) = %v, want %v", i, p, got[i], want)
+		}
+	}
+	empty := Percentiles(&kickstart.Log{}, exec, 50, 90)
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Errorf("empty-log batch = %v, want zeros", empty)
 	}
 }

@@ -24,6 +24,7 @@ package workflow
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"pegflow/internal/catalog"
 	"pegflow/internal/dax"
@@ -74,6 +75,14 @@ type Workload struct {
 	TranscriptBytes, AlignmentBytes int64
 	// Seed drives the cluster→chunk assignment permutation.
 	Seed uint64
+	// Params records the rank-size law Clusters was synthesized from; it
+	// is the workload's seed-independent fingerprint, used to memoize
+	// cluster synthesis and cost-model sums and to key the plan cache
+	// (package core). It is zero for hand-built workloads, which are
+	// never cached. When Params is set, Clusters is shared with every
+	// other workload of the same Params and must be treated as read-only;
+	// code that hand-edits Clusters must clear Params.
+	Params WorkloadParams
 }
 
 // PaperWorkload returns the synthetic equivalent of the paper's Triticum
@@ -103,20 +112,41 @@ type WorkloadParams struct {
 
 // CustomWorkload builds a workload with the given rank-size law, keeping
 // the paper's file sizes. Used by the skew ablation (DESIGN.md A4).
+//
+// Cluster synthesis is seed-independent (the seed only drives the
+// cluster→chunk assignment permutation), so the Clusters slice is
+// memoized per WorkloadParams and shared read-only across workloads —
+// sweeps construct one Experiment per grid cell, and without memoization
+// each paid the 40,000-cluster synthesis again. Do NOT mutate the
+// returned Clusters in place: it is aliased by every workload with the
+// same params (and read concurrently by sweep workers). To customize
+// clusters, replace the slice wholesale and clear Params.
 func CustomWorkload(p WorkloadParams, seed uint64) Workload {
+	return Workload{
+		Name:             "triticum-urartu-synthetic",
+		Clusters:         clustersFor(p),
+		TotalTranscripts: 236529,
+		TranscriptBytes:  404 << 20,
+		AlignmentBytes:   155 << 20,
+		Seed:             seed,
+		Params:           p,
+	}
+}
+
+// clusterCache memoizes cluster synthesis per WorkloadParams.
+var clusterCache sync.Map // WorkloadParams -> []ClusterSpec
+
+func clustersFor(p WorkloadParams) []ClusterSpec {
+	if v, ok := clusterCache.Load(p); ok {
+		return v.([]ClusterSpec)
+	}
 	sizes := rng.ZipfSizes(p.NumClusters, p.SizeExponent, p.MaxClusterSize)
 	clusters := make([]ClusterSpec, p.NumClusters)
 	for i, m := range sizes {
 		clusters[i] = ClusterSpec{Transcripts: m, Bases: m * p.MeanReadLen}
 	}
-	return Workload{
-		Name:             "triticum-urartu-synthetic",
-		Clusters:         clusters,
-		TotalTranscripts: 236529,
-		TranscriptBytes:  404 << 20,
-		AlignmentBytes:   155 << 20,
-		Seed:             seed,
-	}
+	v, _ := clusterCache.LoadOrStore(p, clusters)
+	return v.([]ClusterSpec)
 }
 
 // CostModel converts workload quantities into reference-machine seconds.
@@ -177,13 +207,49 @@ func (c CostModel) scanSeconds(size int64) float64 {
 	return c.TaskBase + float64(size)/(c.ReadMBps*1e6)
 }
 
+// costKey pairs a workload fingerprint with a cost model — the memoization
+// key for seed-independent cost sums.
+type costKey struct {
+	params WorkloadParams
+	cost   CostModel
+}
+
+// clusterSecsCache memoizes the per-cluster CAP3 seconds of synthesized
+// workloads: the values depend only on (params, cost model), while the
+// seed only permutes which chunk each cluster lands in.
+var clusterSecsCache sync.Map // costKey -> []float64
+
+// clusterSecondsAll returns memoized per-cluster seconds for a synthesized
+// workload, or nil when the workload is hand-built (no Params fingerprint).
+func (c CostModel) clusterSecondsAll(w Workload) []float64 {
+	if w.Params == (WorkloadParams{}) {
+		return nil
+	}
+	key := costKey{w.Params, c}
+	if v, ok := clusterSecsCache.Load(key); ok {
+		return v.([]float64)
+	}
+	secs := make([]float64, len(w.Clusters))
+	for i, cl := range w.Clusters {
+		secs[i] = c.ClusterSeconds(cl)
+	}
+	v, _ := clusterSecsCache.LoadOrStore(key, secs)
+	return v.([]float64)
+}
+
 // SerialSeconds is the reference-machine running time of the original
 // serial blast2cap3: scan both inputs, then process every cluster
 // consecutively (paper §V.B — 100 hours for the wheat dataset).
 func (c CostModel) SerialSeconds(w Workload) float64 {
 	total := c.scanSeconds(w.TranscriptBytes) + c.scanSeconds(w.AlignmentBytes)
-	for _, cl := range w.Clusters {
-		total += c.ClusterSeconds(cl)
+	if secs := c.clusterSecondsAll(w); secs != nil {
+		for _, s := range secs {
+			total += s
+		}
+	} else {
+		for _, cl := range w.Clusters {
+			total += c.ClusterSeconds(cl)
+		}
 	}
 	// Final concatenation of joined and unjoined transcripts.
 	total += c.scanSeconds(w.TranscriptBytes)
@@ -197,14 +263,23 @@ func (c CostModel) SerialSeconds(w Workload) float64 {
 // workload's clusters are dealt to chunks round-robin over a seeded
 // permutation (blast2cap3 assigns whole clusters to chunk files; the
 // permutation models the arbitrary protein order of "alignments.out").
+// For synthesized workloads the per-cluster seconds come from the memoized
+// table — identical values accumulated in identical order, so results are
+// bit-equal to the direct computation.
 func (c CostModel) ChunkSeconds(w Workload, n int) ([]float64, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workflow: non-positive chunk count %d", n)
 	}
 	perm := rng.New(w.Seed).Derive("chunk-assignment").Perm(len(w.Clusters))
 	chunks := make([]float64, n)
-	for i, ci := range perm {
-		chunks[i%n] += c.ClusterSeconds(w.Clusters[ci])
+	if secs := c.clusterSecondsAll(w); secs != nil {
+		for i, ci := range perm {
+			chunks[i%n] += secs[ci]
+		}
+	} else {
+		for i, ci := range perm {
+			chunks[i%n] += c.ClusterSeconds(w.Clusters[ci])
+		}
 	}
 	for i := range chunks {
 		chunks[i] += c.TaskBase
@@ -223,6 +298,11 @@ type BuilderConfig struct {
 	// when the workload has clusters).
 	Cost CostModel
 }
+
+// ChunkJobID returns the executable job ID of the i-th (0-based) run_cap3
+// chunk of an n-way split — the naming contract shared by the DAX builder
+// and the plan cache's per-seed runtime patching (internal/core).
+func ChunkJobID(i int) string { return fmt.Sprintf("run_cap3_%04d", i+1) }
 
 // BuildDAX constructs the abstract blast2cap3 workflow for n chunks.
 func BuildDAX(cfg BuilderConfig) (*dax.Workflow, error) {
@@ -282,7 +362,7 @@ func BuildDAX(cfg BuilderConfig) (*dax.Workflow, error) {
 		proteinLFN := fmt.Sprintf("protein_%d.txt", i+1)
 		joinedLFN := fmt.Sprintf("joined_%d.fasta", i+1)
 		sp.AddOutput(proteinLFN, chunkBytes)
-		id := fmt.Sprintf("run_cap3_%04d", i+1)
+		id := ChunkJobID(i)
 		rc := wf.NewJob(id, TrRunCAP3).
 			AddInput("transcripts_dict.txt", w.TranscriptBytes/8).
 			AddInput(proteinLFN, chunkBytes).
@@ -304,7 +384,7 @@ func BuildDAX(cfg BuilderConfig) (*dax.Workflow, error) {
 	setRuntime(mg, cost.TaskBase+cost.MergePerFile*float64(cfg.N))
 	for i := 0; i < cfg.N; i++ {
 		mg.AddInput(fmt.Sprintf("joined_%d.fasta", i+1), chunkBytes/2)
-		if err := wf.AddDependency(fmt.Sprintf("run_cap3_%04d", i+1), "merge"); err != nil {
+		if err := wf.AddDependency(ChunkJobID(i), "merge"); err != nil {
 			return nil, err
 		}
 	}
