@@ -1,19 +1,28 @@
 // Command pegflow is the workflow-management CLI, mirroring the Pegasus
-// tool family (paper §III):
+// tool family (paper §III) and extending it with declarative scenarios
+// and a long-running service:
 //
 //	pegflow dax        -n 300 > blast2cap3.dax          (DAX generator)
 //	pegflow plan       -dax blast2cap3.dax -site osg    (pegasus-plan)
 //	pegflow run        -dax blast2cap3.dax -site osg    (pegasus-run, simulated)
+//	pegflow ensemble   -workflows 8 -sites sandhills,osg (pegasus-em)
+//	pegflow scenario run  examples/scenarios/paper.json (what-if grid)
+//	pegflow serve      -addr :8080                      (scenario HTTP service)
 //	pegflow statistics -log run.jsonl                   (pegasus-statistics)
 //	pegflow analyze    -log run.jsonl                   (pegasus-analyzer)
 //
 // plan and run resolve sites against the paper's built-in two-platform
-// catalogs (Sandhills and OSG).
+// catalogs (Sandhills and OSG); scenarios declare their own site pools.
+//
+// Every subcommand's flags are defined in a <cmd>Flags constructor so the
+// README's CLI reference can be generated from — and tested against — the
+// real flag sets (see cli_reference_test.go).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -22,52 +31,122 @@ import (
 	"pegflow/internal/engine"
 	"pegflow/internal/kickstart"
 	"pegflow/internal/planner"
+	"pegflow/internal/scenario"
+	"pegflow/internal/server"
 	"pegflow/internal/sim/platform"
 	"pegflow/internal/stats"
 	"pegflow/internal/workflow"
 )
+
+// command describes one subcommand: its name (possibly two words, like
+// "scenario run"), the positional-argument placeholder for usage lines,
+// a one-line summary, a fresh flag set (for help and the generated CLI
+// reference) and the runner.
+type command struct {
+	name    string
+	args    string
+	summary string
+	flags   func() *flag.FlagSet
+	run     func(args []string) error
+}
+
+// commands lists every subcommand in display order. The CLI reference in
+// README.md is generated from exactly this table.
+func commands() []command {
+	return []command{
+		{
+			name: "dax", summary: "generate the blast2cap3 abstract workflow (DAX XML) on stdout",
+			flags: func() *flag.FlagSet { fs, _ := daxFlags(); return fs },
+			run:   cmdDAX,
+		},
+		{
+			name: "plan", summary: "map a DAX onto one site (-site) or several (-sites a,b -policy p)",
+			flags: func() *flag.FlagSet { fs, _ := planFlags(); return fs },
+			run:   cmdPlan,
+		},
+		{
+			name: "run", summary: "plan and execute a DAX on simulated platforms",
+			flags: func() *flag.FlagSet { fs, _ := runFlags(); return fs },
+			run:   cmdRun,
+		},
+		{
+			name: "ensemble", summary: "run many workflows concurrently on a shared platform pool",
+			flags: func() *flag.FlagSet { fs, _ := ensembleFlags(); return fs },
+			run:   cmdEnsemble,
+		},
+		{
+			name: "scenario run", args: "<scenario.json>",
+			summary: "execute a declarative scenario file, one NDJSON line per cell",
+			flags:   func() *flag.FlagSet { fs, _ := scenarioRunFlags(); return fs },
+			run:     cmdScenarioRun,
+		},
+		{
+			name: "scenario check", args: "<scenario.json>",
+			summary: "validate a scenario file and print its fingerprint and cell count",
+			flags:   func() *flag.FlagSet { return flag.NewFlagSet("scenario check", flag.ExitOnError) },
+			run:     cmdScenarioCheck,
+		},
+		{
+			name: "serve", summary: "serve scenarios over HTTP (POST /v1/scenarios/run)",
+			flags: func() *flag.FlagSet { fs, _ := serveFlags(); return fs },
+			run:   cmdServe,
+		},
+		{
+			name: "statistics", summary: "summarize a kickstart log (JSON lines)",
+			flags: func() *flag.FlagSet { fs, _ := statisticsFlags(); return fs },
+			run:   cmdStatistics,
+		},
+		{
+			name: "analyze", summary: "report failed attempts from a kickstart log",
+			flags: func() *flag.FlagSet { fs, _ := analyzeFlags(); return fs },
+			run:   cmdAnalyze,
+		},
+	}
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	var err error
-	switch os.Args[1] {
-	case "dax":
-		err = cmdDAX(os.Args[2:])
-	case "plan":
-		err = cmdPlan(os.Args[2:])
-	case "run":
-		err = cmdRun(os.Args[2:])
-	case "ensemble":
-		err = cmdEnsemble(os.Args[2:])
-	case "statistics":
-		err = cmdStatistics(os.Args[2:])
-	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
+	name := os.Args[1]
+	args := os.Args[2:]
+	switch name {
 	case "-h", "--help", "help":
 		usage()
-	default:
-		usage()
-		os.Exit(2)
+		return
+	case "scenario":
+		// Two-word command: consume the verb.
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "pegflow: scenario needs a verb: run or check")
+			os.Exit(2)
+		}
+		name, args = name+" "+args[0], args[1:]
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pegflow:", err)
-		os.Exit(1)
+	for _, c := range commands() {
+		if c.name == name {
+			if err := c.run(args); err != nil {
+				fmt.Fprintln(os.Stderr, "pegflow:", err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
+	usage()
+	os.Exit(2)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: pegflow <command> [flags]
-
-commands:
-  dax         generate the blast2cap3 abstract workflow (DAX XML) on stdout
-  plan        map a DAX onto one site (-site) or several (-sites a,b -policy p)
-  run         plan and execute a DAX on simulated platforms
-  ensemble    run many workflows concurrently on a shared platform pool
-  statistics  summarize a kickstart log (JSON lines)
-  analyze     report failed attempts from a kickstart log`)
+	fmt.Fprintln(os.Stderr, "usage: pegflow <command> [flags]")
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(os.Stderr, "commands:")
+	for _, c := range commands() {
+		name := c.name
+		if c.args != "" {
+			name += " " + c.args
+		}
+		fmt.Fprintf(os.Stderr, "  %-28s %s\n", name, c.summary)
+	}
 }
 
 func loadDAX(path string) (*dax.Workflow, error) {
@@ -79,19 +158,33 @@ func loadDAX(path string) (*dax.Workflow, error) {
 	return dax.ReadXML(f)
 }
 
-func cmdDAX(args []string) error {
+// ---- dax ----
+
+type daxOpts struct {
+	n     int
+	scale string
+	seed  uint64
+}
+
+func daxFlags() (*flag.FlagSet, *daxOpts) {
+	o := &daxOpts{}
 	fs := flag.NewFlagSet("dax", flag.ExitOnError)
-	n := fs.Int("n", 300, "number of cluster chunks")
-	scale := fs.String("scale", "paper", "workload scale: paper (with runtime profiles) or real (no profiles)")
-	seed := fs.Uint64("seed", 42, "workload seed")
+	fs.IntVar(&o.n, "n", 300, "number of cluster chunks")
+	fs.StringVar(&o.scale, "scale", "paper", "workload scale: paper (with runtime profiles) or real (no profiles)")
+	fs.Uint64Var(&o.seed, "seed", 42, "workload seed")
+	return fs, o
+}
+
+func cmdDAX(args []string) error {
+	fs, o := daxFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := workflow.BuilderConfig{N: *n}
-	if *scale == "paper" {
-		cfg.Workload = workflow.PaperWorkload(*seed)
-	} else if *scale != "real" {
-		return fmt.Errorf("unknown -scale %q", *scale)
+	cfg := workflow.BuilderConfig{N: o.n}
+	if o.scale == "paper" {
+		cfg.Workload = workflow.PaperWorkload(o.seed)
+	} else if o.scale != "real" {
+		return fmt.Errorf("unknown -scale %q", o.scale)
 	}
 	wf, err := workflow.BuildDAX(cfg)
 	if err != nil {
@@ -100,27 +193,44 @@ func cmdDAX(args []string) error {
 	return wf.WriteXML(os.Stdout)
 }
 
-func cmdPlan(args []string) error {
+// ---- plan ----
+
+type planOpts struct {
+	dax            string
+	site           string
+	sites          string
+	policy         string
+	cluster        int
+	clusterSeconds float64
+}
+
+func planFlags() (*flag.FlagSet, *planOpts) {
+	o := &planOpts{}
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
-	daxPath := fs.String("dax", "", "abstract workflow file (required)")
-	site := fs.String("site", "sandhills", "execution site: sandhills, osg or cloud")
-	sites := fs.String("sites", "", "comma-separated site set for multi-site planning (overrides -site)")
-	policy := fs.String("policy", planner.PolicyDataAware,
+	fs.StringVar(&o.dax, "dax", "", "abstract workflow file (required)")
+	fs.StringVar(&o.site, "site", "sandhills", "execution site: sandhills, osg or cloud")
+	fs.StringVar(&o.sites, "sites", "", "comma-separated site set for multi-site planning (overrides -site)")
+	fs.StringVar(&o.policy, "policy", planner.PolicyDataAware,
 		"site-selection policy for -sites: round-robin, data-aware or runtime-aware")
-	cluster := fs.Int("cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
-	clusterSeconds := fs.Float64("cluster-seconds", 0,
+	fs.IntVar(&o.cluster, "cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
+	fs.Float64Var(&o.clusterSeconds, "cluster-seconds", 0,
 		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
+	return fs, o
+}
+
+func cmdPlan(args []string) error {
+	fs, o := planFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *daxPath == "" {
+	if o.dax == "" {
 		return fmt.Errorf("plan: -dax is required")
 	}
-	wf, err := loadDAX(*daxPath)
+	wf, err := loadDAX(o.dax)
 	if err != nil {
 		return err
 	}
-	plan, _, err := planFor(wf, *site, *sites, *policy, *cluster, *clusterSeconds)
+	plan, _, err := planFor(wf, o.site, o.sites, o.policy, o.cluster, o.clusterSeconds)
 	if err != nil {
 		return err
 	}
@@ -220,45 +330,68 @@ func siteConfig(name string, seed uint64) (platform.Config, error) {
 	}
 }
 
-func cmdRun(args []string) error {
+// ---- run ----
+
+type runCmdOpts struct {
+	dax            string
+	site           string
+	sites          string
+	policy         string
+	seed           uint64
+	retries        int
+	cluster        int
+	clusterSeconds float64
+	failover       bool
+	logOut         string
+	rescueOut      string
+	timeline       bool
+}
+
+func runFlags() (*flag.FlagSet, *runCmdOpts) {
+	o := &runCmdOpts{}
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	daxPath := fs.String("dax", "", "abstract workflow file (required)")
-	site := fs.String("site", "sandhills", "execution site: sandhills, osg or cloud")
-	sites := fs.String("sites", "", "comma-separated site set for a multi-site run (overrides -site)")
-	policy := fs.String("policy", planner.PolicyDataAware,
+	fs.StringVar(&o.dax, "dax", "", "abstract workflow file (required)")
+	fs.StringVar(&o.site, "site", "sandhills", "execution site: sandhills, osg or cloud")
+	fs.StringVar(&o.sites, "sites", "", "comma-separated site set for a multi-site run (overrides -site)")
+	fs.StringVar(&o.policy, "policy", planner.PolicyDataAware,
 		"site-selection policy for -sites: round-robin, data-aware or runtime-aware")
-	seed := fs.Uint64("seed", 42, "simulation seed")
-	retries := fs.Int("retries", 5, "retry limit per job")
-	cluster := fs.Int("cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
-	clusterSeconds := fs.Float64("cluster-seconds", 0,
+	fs.Uint64Var(&o.seed, "seed", 42, "simulation seed")
+	fs.IntVar(&o.retries, "retries", 5, "retry limit per job")
+	fs.IntVar(&o.cluster, "cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
+	fs.Float64Var(&o.clusterSeconds, "cluster-seconds", 0,
 		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
-	failover := fs.Bool("failover", false,
+	fs.BoolVar(&o.failover, "failover", false,
 		"retry failed/evicted jobs on a sibling site (requires -sites)")
-	logOut := fs.String("log-out", "", "write the kickstart log (JSON lines) to this file")
-	rescueOut := fs.String("rescue-out", "", "write a rescue DAX here if the run is incomplete")
-	timeline := fs.Bool("timeline", false, "print an ASCII utilization timeline")
+	fs.StringVar(&o.logOut, "log-out", "", "write the kickstart log (JSON lines) to this file")
+	fs.StringVar(&o.rescueOut, "rescue-out", "", "write a rescue DAX here if the run is incomplete")
+	fs.BoolVar(&o.timeline, "timeline", false, "print an ASCII utilization timeline")
+	return fs, o
+}
+
+func cmdRun(args []string) error {
+	fs, o := runFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *daxPath == "" {
+	if o.dax == "" {
 		return fmt.Errorf("run: -dax is required")
 	}
-	if *failover && *sites == "" {
+	if o.failover && o.sites == "" {
 		return fmt.Errorf("run: -failover needs a multi-site run (-sites)")
 	}
-	wf, err := loadDAX(*daxPath)
+	wf, err := loadDAX(o.dax)
 	if err != nil {
 		return err
 	}
-	plan, cats, err := planFor(wf, *site, *sites, *policy, *cluster, *clusterSeconds)
+	plan, cats, err := planFor(wf, o.site, o.sites, o.policy, o.cluster, o.clusterSeconds)
 	if err != nil {
 		return err
 	}
 	var ex engine.Executor
-	if *sites != "" {
+	if o.sites != "" {
 		var cfgs []platform.Config
-		for _, s := range splitSites(*sites) {
-			cfg, err := siteConfig(s, *seed)
+		for _, s := range splitSites(o.sites) {
+			cfg, err := siteConfig(s, o.seed)
 			if err != nil {
 				return fmt.Errorf("run: %w", err)
 			}
@@ -273,7 +406,7 @@ func cmdRun(args []string) error {
 		}
 		ex = multi
 	} else {
-		cfg, err := siteConfig(*site, *seed)
+		cfg, err := siteConfig(o.site, o.seed)
 		if err != nil {
 			return fmt.Errorf("run: %w", err)
 		}
@@ -283,8 +416,8 @@ func cmdRun(args []string) error {
 		}
 		ex = single
 	}
-	opts := engine.Options{RetryLimit: *retries}
-	if *failover {
+	opts := engine.Options{RetryLimit: o.retries}
+	if o.failover {
 		fo, err := planner.NewFailover(cats, plan.Sites)
 		if err != nil {
 			return err
@@ -298,7 +431,7 @@ func cmdRun(args []string) error {
 	if err := stats.WriteSummary(os.Stdout, plan.Graph.Name, stats.Summarize(res.Log, res.Makespan)); err != nil {
 		return err
 	}
-	if *failover {
+	if o.failover {
 		fmt.Printf("Cross-site failovers         : %12d\n", res.Failovers)
 	}
 	fmt.Println()
@@ -311,7 +444,7 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	if *timeline {
+	if o.timeline {
 		fmt.Println()
 		if err := stats.WriteTimeline(os.Stdout, stats.BuildTimeline(res.Log, 16), 56); err != nil {
 			return err
@@ -319,8 +452,8 @@ func cmdRun(args []string) error {
 	}
 	if !res.Success {
 		fmt.Printf("\nworkflow INCOMPLETE; rescue workflow has %d jobs\n", len(res.RescueWorkflow()))
-		if *rescueOut != "" {
-			f, err := os.Create(*rescueOut)
+		if o.rescueOut != "" {
+			f, err := os.Create(o.rescueOut)
 			if err != nil {
 				return err
 			}
@@ -332,11 +465,11 @@ func cmdRun(args []string) error {
 				return err
 			}
 			fmt.Printf("rescue DAX written to %s (resubmit with: pegflow run -dax %s)\n",
-				*rescueOut, *rescueOut)
+				o.rescueOut, o.rescueOut)
 		}
 	}
-	if *logOut != "" {
-		f, err := os.Create(*logOut)
+	if o.logOut != "" {
+		f, err := os.Create(o.logOut)
 		if err != nil {
 			return err
 		}
@@ -347,74 +480,187 @@ func cmdRun(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("\nkickstart log written to %s\n", *logOut)
+		fmt.Printf("\nkickstart log written to %s\n", o.logOut)
 	}
 	return nil
+}
+
+// ---- ensemble ----
+
+type ensembleOpts struct {
+	workflows      int
+	n              int
+	sites          string
+	policy         string
+	seed           uint64
+	retries        int
+	maxInFlight    int
+	cluster        int
+	clusterSeconds float64
+	failover       bool
+	workers        int
+	jsonOut        bool
+}
+
+func ensembleFlags() (*flag.FlagSet, *ensembleOpts) {
+	o := &ensembleOpts{}
+	fs := flag.NewFlagSet("ensemble", flag.ExitOnError)
+	fs.IntVar(&o.workflows, "workflows", 8, "number of concurrent workflows")
+	fs.IntVar(&o.n, "n", 50, "cluster chunks per workflow")
+	fs.StringVar(&o.sites, "sites", "sandhills,osg", "comma-separated execution sites")
+	fs.StringVar(&o.policy, "policy", planner.PolicyDataAware,
+		"site-selection policy: round-robin, data-aware or runtime-aware")
+	fs.Uint64Var(&o.seed, "seed", 42, "simulation seed")
+	fs.IntVar(&o.retries, "retries", 5, "retry limit per job")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "ensemble-wide cap on jobs in flight (0 = unlimited)")
+	fs.IntVar(&o.cluster, "cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
+	fs.Float64Var(&o.clusterSeconds, "cluster-seconds", 0,
+		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
+	fs.BoolVar(&o.failover, "failover", false, "retry failed/evicted jobs on a sibling pool site")
+	fs.IntVar(&o.workers, "workers", 0, "planning workers (0 = all CPUs; results are identical for any count)")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit the ensemble report as JSON")
+	return fs, o
 }
 
 // cmdEnsemble runs N blast2cap3 workflows concurrently on a shared pool
 // of simulated platforms — the Pegasus Ensemble Manager scenario.
 func cmdEnsemble(args []string) error {
-	fs := flag.NewFlagSet("ensemble", flag.ExitOnError)
-	workflows := fs.Int("workflows", 8, "number of concurrent workflows")
-	n := fs.Int("n", 50, "cluster chunks per workflow")
-	sitesFlag := fs.String("sites", "sandhills,osg", "comma-separated execution sites")
-	policy := fs.String("policy", planner.PolicyDataAware,
-		"site-selection policy: round-robin, data-aware or runtime-aware")
-	seed := fs.Uint64("seed", 42, "simulation seed")
-	retries := fs.Int("retries", 5, "retry limit per job")
-	maxInFlight := fs.Int("max-inflight", 0, "ensemble-wide cap on jobs in flight (0 = unlimited)")
-	cluster := fs.Int("cluster", 0, "max tasks bundled per clustered grid job (0 = off)")
-	clusterSeconds := fs.Float64("cluster-seconds", 0,
-		"close a clustered job once its estimated runtime reaches this many seconds (0 = off)")
-	failover := fs.Bool("failover", false, "retry failed/evicted jobs on a sibling pool site")
-	workers := fs.Int("workers", 0, "planning workers (0 = all CPUs; results are identical for any count)")
-	jsonOut := fs.Bool("json", false, "emit the ensemble report as JSON")
+	fs, o := ensembleFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	siteNames := splitSites(*sitesFlag)
+	siteNames := splitSites(o.sites)
 	if len(siteNames) == 0 {
 		return fmt.Errorf("ensemble: no sites given")
 	}
 	cfgs := make([]platform.Config, 0, len(siteNames))
 	for _, s := range siteNames {
-		cfg, err := siteConfig(s, *seed)
+		cfg, err := siteConfig(s, o.seed)
 		if err != nil {
 			return fmt.Errorf("ensemble: %w", err)
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	cats, err := workflow.PaperCatalogs(workflow.PaperWorkload(*seed), 300, 600)
+	cats, err := workflow.PaperCatalogs(workflow.PaperWorkload(o.seed), 300, 600)
 	if err != nil {
 		return err
 	}
 	exp := &core.EnsembleExperiment{
-		Seed:        *seed,
-		Workflows:   *workflows,
-		N:           *n,
-		Policy:      *policy,
+		Seed:        o.seed,
+		Workflows:   o.workflows,
+		N:           o.n,
+		Policy:      o.policy,
 		Sites:       siteNames,
 		Platforms:   cfgs,
 		Catalogs:    cats,
-		MaxInFlight: *maxInFlight,
-		RetryLimit:  *retries,
+		MaxInFlight: o.maxInFlight,
+		RetryLimit:  o.retries,
 		Cluster: planner.ClusterOptions{
-			MaxTasksPerJob:   *cluster,
-			TargetJobSeconds: *clusterSeconds,
+			MaxTasksPerJob:   o.cluster,
+			TargetJobSeconds: o.clusterSeconds,
 		},
-		Failover: *failover,
-		Workers:  *workers,
+		Failover: o.failover,
+		Workers:  o.workers,
 	}
 	_, report, err := exp.Run()
 	if err != nil {
 		return err
 	}
-	if *jsonOut {
+	if o.jsonOut {
 		return report.WriteJSON(os.Stdout)
 	}
 	return stats.WriteEnsemble(os.Stdout, report)
 }
+
+// ---- scenario run / scenario check ----
+
+type scenarioRunOpts struct {
+	workers int
+}
+
+func scenarioRunFlags() (*flag.FlagSet, *scenarioRunOpts) {
+	o := &scenarioRunOpts{}
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	fs.IntVar(&o.workers, "workers", 0, "concurrent cells (0 = all CPUs; output is identical for any count)")
+	return fs, o
+}
+
+func cmdScenarioRun(args []string) error {
+	fs, o := scenarioRunFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scenario run: exactly one scenario file is required")
+	}
+	doc, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := scenario.Compile(doc)
+	if err != nil {
+		return err
+	}
+	_, err = c.Run(scenario.RunOptions{
+		Workers: o.workers,
+		OnLine: func(line []byte) {
+			os.Stdout.Write(line)
+			os.Stdout.Write([]byte{'\n'})
+		},
+	})
+	return err
+}
+
+func cmdScenarioCheck(args []string) error {
+	fs := flag.NewFlagSet("scenario check", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("scenario check: exactly one scenario file is required")
+	}
+	doc, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	c, err := scenario.Compile(doc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario   : %s\n", doc.Name)
+	fmt.Printf("fingerprint: %s\n", c.Fingerprint)
+	fmt.Printf("cells      : %d\n", len(c.Cells))
+	return nil
+}
+
+// ---- serve ----
+
+type serveOpts struct {
+	addr        string
+	workers     int
+	maxInFlight int
+}
+
+func serveFlags() (*flag.FlagSet, *serveOpts) {
+	o := &serveOpts{}
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	fs.IntVar(&o.workers, "workers", 4, "process-wide simulation worker pool shared by all requests")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "max concurrent scenario runs before 429 (0 = 2x workers)")
+	return fs, o
+}
+
+func cmdServe(args []string) error {
+	fs, o := serveFlags()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Options{Workers: o.workers, MaxInFlight: o.maxInFlight})
+	fmt.Fprintf(os.Stderr, "pegflow serve: listening on %s (workers %d)\n", o.addr, o.workers)
+	return http.ListenAndServe(o.addr, srv)
+}
+
+// ---- statistics / analyze ----
 
 func loadLog(path string) (*kickstart.Log, error) {
 	f, err := os.Open(path)
@@ -425,16 +671,26 @@ func loadLog(path string) (*kickstart.Log, error) {
 	return kickstart.ReadJSON(f)
 }
 
-func cmdStatistics(args []string) error {
+type logOpts struct {
+	log string
+}
+
+func statisticsFlags() (*flag.FlagSet, *logOpts) {
+	o := &logOpts{}
 	fs := flag.NewFlagSet("statistics", flag.ExitOnError)
-	logPath := fs.String("log", "", "kickstart log file (required)")
+	fs.StringVar(&o.log, "log", "", "kickstart log file (required)")
+	return fs, o
+}
+
+func cmdStatistics(args []string) error {
+	fs, o := statisticsFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *logPath == "" {
+	if o.log == "" {
 		return fmt.Errorf("statistics: -log is required")
 	}
-	lg, err := loadLog(*logPath)
+	lg, err := loadLog(o.log)
 	if err != nil {
 		return err
 	}
@@ -444,7 +700,7 @@ func cmdStatistics(args []string) error {
 			makespan = r.EndTime
 		}
 	}
-	if err := stats.WriteSummary(os.Stdout, *logPath, stats.Summarize(lg, makespan)); err != nil {
+	if err := stats.WriteSummary(os.Stdout, o.log, stats.Summarize(lg, makespan)); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -458,16 +714,22 @@ func cmdStatistics(args []string) error {
 	return nil
 }
 
-func cmdAnalyze(args []string) error {
+func analyzeFlags() (*flag.FlagSet, *logOpts) {
+	o := &logOpts{}
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	logPath := fs.String("log", "", "kickstart log file (required)")
+	fs.StringVar(&o.log, "log", "", "kickstart log file (required)")
+	return fs, o
+}
+
+func cmdAnalyze(args []string) error {
+	fs, o := analyzeFlags()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *logPath == "" {
+	if o.log == "" {
 		return fmt.Errorf("analyze: -log is required")
 	}
-	lg, err := loadLog(*logPath)
+	lg, err := loadLog(o.log)
 	if err != nil {
 		return err
 	}

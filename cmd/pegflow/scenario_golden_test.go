@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// scenarioPath resolves a checked-in example scenario.
+func scenarioPath(name string) string {
+	return filepath.Join("..", "..", "examples", "scenarios", name)
+}
+
+// TestGoldenScenarioPaper is the acceptance property: the paper
+// reproduction scenario's NDJSON output is byte-identical across worker
+// counts, pinned by a golden fixture.
+func TestGoldenScenarioPaper(t *testing.T) {
+	path := scenarioPath("paper.json")
+	one := captureStdout(t, cmdScenarioRun, []string{"-workers", "1", path})
+	checkGolden(t, "scenario_paper", one)
+	eight := captureStdout(t, cmdScenarioRun, []string{"-workers", "8", path})
+	if eight != one {
+		t.Errorf("scenario run output depends on -workers:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", one, eight)
+	}
+}
+
+func TestGoldenScenarioHeteroEnsemble(t *testing.T) {
+	path := scenarioPath("hetero-ensemble.json")
+	one := captureStdout(t, cmdScenarioRun, []string{"-workers", "1", path})
+	checkGolden(t, "scenario_hetero_ensemble", one)
+	if many := captureStdout(t, cmdScenarioRun, []string{"-workers", "8", path}); many != one {
+		t.Error("hetero-ensemble scenario output depends on -workers")
+	}
+}
+
+func TestGoldenScenarioFailoverStress(t *testing.T) {
+	path := scenarioPath("failover-stress.json")
+	one := captureStdout(t, cmdScenarioRun, []string{"-workers", "1", path})
+	checkGolden(t, "scenario_failover_stress", one)
+	if many := captureStdout(t, cmdScenarioRun, []string{"-workers", "8", path}); many != one {
+		t.Error("failover-stress scenario output depends on -workers")
+	}
+}
+
+func TestGoldenScenarioCheck(t *testing.T) {
+	out := captureStdout(t, cmdScenarioCheck, []string{scenarioPath("paper.json")})
+	checkGolden(t, "scenario_check_paper", out)
+}

@@ -1,0 +1,105 @@
+// The docs gate: every internal package must carry a package comment in a
+// dedicated doc.go, so `go doc pegflow/internal/<pkg>` always tells the
+// package's story and the README's architecture narrative cannot silently
+// outrun the code. CI runs this as part of the ordinary test suite.
+package pegflow_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goPackageDirs returns every directory under root containing non-test Go
+// files.
+func goPackageDirs(t *testing.T, root string) []string {
+	t.Helper()
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}
+
+func TestEveryInternalPackageHasDocGo(t *testing.T) {
+	for _, dir := range goPackageDirs(t, "internal") {
+		docPath := filepath.Join(dir, "doc.go")
+		if _, err := os.Stat(docPath); err != nil {
+			t.Errorf("%s: no doc.go — add one with the package comment (docs gate)", dir)
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, docPath, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", docPath, err)
+			continue
+		}
+		name := f.Name.Name
+		if f.Doc == nil || strings.TrimSpace(f.Doc.Text()) == "" {
+			t.Errorf("%s: doc.go has no package comment", dir)
+			continue
+		}
+		if !strings.HasPrefix(f.Doc.Text(), "Package "+name+" ") &&
+			!strings.HasPrefix(f.Doc.Text(), "Package "+name+"\n") {
+			t.Errorf("%s: package comment must start with %q (go doc convention), got %q",
+				dir, "Package "+name, firstLine(f.Doc.Text()))
+		}
+	}
+}
+
+// TestNoDuplicatePackageComments keeps the package comment in doc.go
+// alone: any comment block attached to another file's package clause —
+// whether or not it starts with "Package" — is a doc comment go/doc
+// concatenates into the package documentation in file-name order,
+// garbling the story. File-level commentary is fine; it just needs a
+// blank line before the package clause.
+func TestNoDuplicatePackageComments(t *testing.T) {
+	for _, dir := range goPackageDirs(t, "internal") {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if name == "doc.go" || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			if f.Doc != nil {
+				t.Errorf("%s: comment is attached to the package clause and leaks into `go doc` (package comments belong in %s/doc.go; separate file commentary with a blank line)", path, dir)
+			}
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

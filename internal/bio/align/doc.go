@@ -1,0 +1,8 @@
+// Package align implements the pairwise sequence alignment kernels the
+// BLASTX-like search and the CAP3-like assembler are built on:
+//
+//   - local protein alignment (Smith-Waterman with affine gaps, BLOSUM62),
+//     used for gapped hit extension in package blast;
+//   - nucleotide overlap (dovetail / suffix-prefix) alignment, used for
+//     overlap detection in package cap3.
+package align

@@ -1,0 +1,9 @@
+// Package blast implements a BLASTX-style translated search: nucleotide
+// queries are translated in six frames and searched against a protein
+// database using the classic seed-and-extend pipeline (word seeding with a
+// BLOSUM62 neighborhood threshold, ungapped diagonal extension, gapped
+// Smith-Waterman around surviving seeds), with Karlin-Altschul e-values.
+//
+// It produces the tabular ("outfmt 6") records the blast2cap3 pipeline
+// consumes as "alignments.out".
+package blast

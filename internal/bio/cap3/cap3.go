@@ -1,21 +1,3 @@
-// Package cap3 implements an overlap-based sequence assembler with the
-// contract of CAP3 (Huang & Madan 1999) as blast2cap3 uses it: given a
-// set of transcripts, repeatedly join pairs whose end overlaps exceed an
-// identity and length cutoff, and emit merged contigs plus unassembled
-// singlets.
-//
-// The pipeline is overlap-layout-consensus in miniature:
-//
-//  1. candidate detection — k-mer sharing between sequence ends, in both
-//     orientations;
-//  2. overlap alignment — banded suffix/prefix dynamic programming
-//     (package align) with CAP3-style scoring;
-//  3. greedy layout — best-scoring overlap first, merging sequences into
-//     growing contigs;
-//  4. consensus — the joined sequence takes the longer-context base at
-//     each overlap column (with N repaired from the partner), a
-//     simplification of CAP3's weighted consensus that is exact for the
-//     high-identity overlaps the thresholds admit.
 package cap3
 
 import (

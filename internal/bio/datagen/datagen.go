@@ -1,9 +1,3 @@
-// Package datagen generates synthetic protein databases and transcriptomes
-// with the structure blast2cap3 exploits: groups of transcripts derived
-// from a common protein, overlapping enough for CAP3 to merge them. It is
-// the stand-in for the paper's proprietary-scale wheat dataset (NCBI
-// PRJNA191053): tests and examples run the real pipeline end-to-end on
-// data from this package.
 package datagen
 
 import (

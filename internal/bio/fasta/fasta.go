@@ -1,6 +1,3 @@
-// Package fasta implements streaming FASTA I/O for the sequence data the
-// blast2cap3 pipeline consumes and produces ("transcripts.fasta", per-chunk
-// joined outputs, the final assembly).
 package fasta
 
 import (

@@ -1,6 +1,3 @@
-// Package seq provides the nucleotide and protein sequence primitives the
-// aligner and assembler build on: complements, six-frame translation, the
-// standard codon table and 2-bit k-mer encoding.
 package seq
 
 import "fmt"

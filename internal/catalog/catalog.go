@@ -1,10 +1,3 @@
-// Package catalog implements the three Pegasus-style catalogs the planner
-// consults when mapping an abstract workflow onto a concrete site:
-//
-//   - the site catalog, describing execution sites and their resources;
-//   - the transformation catalog, mapping logical executable names to
-//     physical locations per site (and whether they are preinstalled);
-//   - the replica catalog, mapping logical file names to physical replicas.
 package catalog
 
 import (

@@ -5,6 +5,7 @@
 // cluster size on both platforms shows where the win lives (the
 // overhead-dominated OSG) and where it turns into a loss (serializing
 // payloads a dedicated cluster could have run in parallel).
+
 package core
 
 import (

@@ -1,7 +1,3 @@
-// Package core is the high-level facade of pegflow: it wires workload,
-// workflow construction, planning, platform simulation and statistics into
-// the paper's experiments (build → plan → run → statistics), so that one
-// call reproduces one bar of Fig. 4 or one panel of Fig. 5.
 package core
 
 import (

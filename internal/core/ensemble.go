@@ -2,6 +2,7 @@
 // under one WMS, compared across site-selection policies — the multi-user,
 // multi-backend regime the ROADMAP's north star demands and the natural
 // extension of the paper's one-workflow-per-platform measurements.
+
 package core
 
 import (
@@ -70,13 +71,20 @@ func (e *EnsembleExperiment) memberWorkload(i int) workflow.Workload {
 	}, e.Seed+uint64(i))
 }
 
-// memberDAXKey fingerprints a derived member workflow: the default member
-// datasets are fully determined by (params, seed, n), so the built DAX can
-// be cached across policy comparisons and repeated sweeps.
+// memberDAXKey fingerprints a member workflow: synthesized datasets are
+// fully determined by (params, seed) — the Params contract guarantees
+// Clusters derive from Params — plus the workload's scalar fields and the
+// chunk count, so the built DAX can be cached across policy comparisons,
+// repeated sweeps and scenario cells regardless of who supplied the
+// workload.
 type memberDAXKey struct {
-	n      int
-	seed   uint64
-	params workflow.WorkloadParams
+	n                int
+	seed             uint64
+	params           workflow.WorkloadParams
+	name             string
+	totalTranscripts int
+	transcriptBytes  int64
+	alignmentBytes   int64
 }
 
 type cachedDAX struct {
@@ -91,19 +99,29 @@ var memberDAXCache sync.Map // memberDAXKey -> *cachedDAX
 // i. Cached masters are cloned per use — callers rename and plan them.
 func (e *EnsembleExperiment) memberDAX(i int) (*dax.Workflow, error) {
 	w := e.memberWorkload(i)
-	if e.MemberWorkload != nil || w.Params == (workflow.WorkloadParams{}) {
-		// Caller-supplied datasets have no synthesis fingerprint to key on.
+	if w.Params == (workflow.WorkloadParams{}) || len(w.Clusters) == 0 {
+		// Hand-built datasets have no synthesis fingerprint to key on.
 		return workflow.BuildDAX(workflow.BuilderConfig{N: e.N, Workload: w})
 	}
-	key := memberDAXKey{n: e.N, seed: w.Seed, params: w.Params}
+	key := memberDAXKey{
+		n:                e.N,
+		seed:             w.Seed,
+		params:           w.Params,
+		name:             w.Name,
+		totalTranscripts: w.TotalTranscripts,
+		transcriptBytes:  w.TranscriptBytes,
+		alignmentBytes:   w.AlignmentBytes,
+	}
 	v, _ := memberDAXCache.LoadOrStore(key, &cachedDAX{})
 	entry := v.(*cachedDAX)
 	entry.once.Do(func() {
+		daxBuilds.Add(1)
 		entry.wf, entry.err = workflow.BuildDAX(workflow.BuilderConfig{N: e.N, Workload: w})
 	})
 	if entry.err != nil {
 		return nil, entry.err
 	}
+	daxRetrievals.Add(1)
 	return entry.wf.Clone(), nil
 }
 

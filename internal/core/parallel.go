@@ -5,6 +5,7 @@
 // never share an Experiment (RunAll shares one, but strictly read-only),
 // and results are merged in deterministic rep-major order after collection
 // instead of being accumulated under a lock.
+
 package core
 
 import (

@@ -9,12 +9,14 @@
 // requesting experiment's chunk runtimes patched in, reproducing the
 // uncached plan byte-for-byte: the patched values round-trip through the
 // same "%.3f" formatting the DAX runtime profiles use.
+
 package core
 
 import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"pegflow/internal/dax"
 	"pegflow/internal/planner"
@@ -49,6 +51,40 @@ type cachedPlan struct {
 }
 
 var planCache sync.Map // planKey -> *cachedPlan
+
+// Cache telemetry: masters built vs. cache retrievals served. The
+// counters are monotone for the process lifetime (ResetPlanCache drops
+// entries, not counters), so callers — the serve health endpoint and the
+// warm-cache tests — difference them across operations: a request that
+// increases retrievals without increasing builds ran entirely warm.
+var (
+	planBuilds, planRetrievals atomic.Uint64
+	daxBuilds, daxRetrievals   atomic.Uint64
+)
+
+// CacheStats is a snapshot of the process-wide plan- and member-DAX-cache
+// counters.
+type CacheStats struct {
+	// PlanBuilds counts master plans constructed (cache misses).
+	PlanBuilds uint64 `json:"plan_builds"`
+	// PlanRetrievals counts plans served from the cache (each one a
+	// Clone + runtime patch).
+	PlanRetrievals uint64 `json:"plan_retrievals"`
+	// MemberDAXBuilds and MemberDAXRetrievals are the same pair for the
+	// ensemble member-DAX cache.
+	MemberDAXBuilds     uint64 `json:"member_dax_builds"`
+	MemberDAXRetrievals uint64 `json:"member_dax_retrievals"`
+}
+
+// PlanCacheStats returns the current cache counters.
+func PlanCacheStats() CacheStats {
+	return CacheStats{
+		PlanBuilds:          planBuilds.Load(),
+		PlanRetrievals:      planRetrievals.Load(),
+		MemberDAXBuilds:     daxBuilds.Load(),
+		MemberDAXRetrievals: daxRetrievals.Load(),
+	}
+}
 
 // ResetPlanCache drops every cached plan and member DAX. Tests and
 // benchmarks use it for a cold cache; long-lived processes that sweep
@@ -105,6 +141,7 @@ func (e *Experiment) cachedWorkflowPlan(site string, n int, w workflow.Workload,
 	v, _ := planCache.LoadOrStore(key, &cachedPlan{})
 	entry := v.(*cachedPlan)
 	entry.once.Do(func() {
+		planBuilds.Add(1)
 		entry.plan, entry.err = e.buildPlan(site, n, w, serial)
 		if entry.err != nil || serial {
 			return
@@ -117,6 +154,7 @@ func (e *Experiment) cachedWorkflowPlan(site string, n int, w workflow.Workload,
 	if entry.err != nil {
 		return nil, entry.err
 	}
+	planRetrievals.Add(1)
 	plan := entry.plan.Clone()
 	if serial {
 		// The serial baseline's single runtime sums every cluster — fully

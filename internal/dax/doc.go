@@ -1,0 +1,9 @@
+// Package dax models abstract scientific workflows as directed acyclic
+// graphs of jobs, in the style of Pegasus DAX (directed acyclic graph in
+// XML) documents.
+//
+// An abstract workflow names logical transformations and logical files; it
+// says nothing about where jobs run or where files live. The planner
+// (package planner) maps an abstract workflow plus catalogs onto an
+// executable workflow for a concrete site.
+package dax

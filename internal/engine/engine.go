@@ -1,7 +1,3 @@
-// Package engine implements a DAGMan-style meta-scheduler: it releases the
-// jobs of an executable plan to an Executor in dependency order, throttles
-// in-flight work, retries failed attempts, and produces a rescue workflow
-// for anything left undone — mirroring Condor DAGMan as used by Pegasus.
 package engine
 
 import (

@@ -1,14 +1,3 @@
-// Package ensemble runs many workflows concurrently against a shared pool
-// of simulated platforms — the role of the Pegasus Ensemble Manager. Each
-// member workflow is driven by the ordinary meta-scheduler (engine.Run);
-// the ensemble adds a global in-flight throttle across members and
-// per-workflow priorities that decide which held job reaches the platform
-// pool first when capacity frees up.
-//
-// Execution is deterministic: member engines run as coroutines that are
-// resumed one at a time by a single driver, so for a fixed seed the
-// interleaving — and therefore every statistic — is bit-identical across
-// runs regardless of how many OS threads or planning workers are used.
 package ensemble
 
 import (

@@ -1,0 +1,9 @@
+// Package fifo provides a slice-backed FIFO queue that does not pin popped
+// elements. The naive pop idiom `q = q[1:]` keeps the whole backing array
+// reachable (and the popped element with it) for as long as the slice
+// lives; over a long producer/consumer run — a simulation delivering
+// millions of events — that is unbounded retention. Queue zeroes each
+// popped slot immediately and compacts the backing array once the dead
+// prefix dominates, so memory stays O(live elements) with amortized O(1)
+// operations.
+package fifo

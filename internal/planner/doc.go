@@ -1,0 +1,18 @@
+// Package planner maps an abstract workflow (package dax) plus catalogs
+// (package catalog) onto an executable plan for one concrete site — the
+// role of pegasus-plan.
+//
+// Planning performs, in order:
+//
+//  1. validation of the abstract workflow;
+//  2. site and transformation resolution — every logical transformation
+//     must be registered at the target site;
+//  3. install-step injection — at sites without a shared software stack
+//     (the OSG case in the paper, Fig. 3), jobs whose transformation is
+//     not preinstalled gain a download/install setup phase;
+//  4. optional stage-in job synthesis for external input files;
+//  5. optional horizontal task clustering — small jobs of the same
+//     transformation at the same DAG level are merged into clustered jobs
+//     executed on one slot, reducing per-job overhead (Pegasus's task
+//     clustering, paper §III).
+package planner

@@ -1,0 +1,32 @@
+// Package scenario turns checked-in JSON documents into executable
+// what-if experiments over the simulation stack — the declarative layer
+// between "a library that reproduces the paper" and a service that answers
+// arbitrary capacity-planning questions about the blast2cap3 workflow.
+//
+// A scenario declares four things:
+//
+//   - sites: the platform pool, as named presets (sandhills, osg, cloud)
+//     with optional overrides, or fully inline definitions (slots, speed,
+//     dispatch/setup distributions, eviction hazard);
+//   - a workload: the paper preset or an inline rank-size law, an n-sweep
+//     and a seed list;
+//   - a policy matrix: site-selection policy × clustering options ×
+//     failover, crossed with the workload axes into a deterministic cell
+//     grid;
+//   - outputs: which report fields each cell row carries, plus optional
+//     per-attempt percentiles.
+//
+// Load/Parse validate the document with line- and field-qualified errors
+// (`paper.json:14: sites[1].slots: must be positive`), Compile expands it
+// into the cell grid and fingerprints it (SHA-256 over the normalized
+// document), and Compiled.Run executes the grid over the bounded worker
+// pool, emitting one NDJSON line per cell in deterministic cell order —
+// byte-identical for any worker count.
+//
+// Execution reuses the core facade, so the PR-4 caches are keyed per
+// scenario cell: single-site cells on built-in presets go through
+// core.Experiment and hit the keyed plan cache (master plans cloned and
+// runtime-patched per seed); multi-site and ensemble cells go through
+// core.EnsembleExperiment and hit the member-DAX cache. A long-running
+// process (pegflow serve) therefore warms up across requests.
+package scenario

@@ -1,0 +1,311 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pegflow/internal/core"
+	"pegflow/internal/kickstart"
+	"pegflow/internal/planner"
+	"pegflow/internal/pool"
+	"pegflow/internal/stats"
+	"pegflow/internal/workflow"
+)
+
+// RunOptions tunes scenario execution.
+type RunOptions struct {
+	// Workers bounds concurrent cells (<= 0 means all CPUs). The output
+	// is byte-identical for any worker count.
+	Workers int
+	// Context, when set, aborts the run between cells once canceled: no
+	// new cells start and Run returns the context's error. The server
+	// passes the request context so a disconnected client stops paying
+	// for simulation it will never read.
+	Context context.Context
+	// Gate, when set, wraps the execution of every cell. The server
+	// installs a process-wide semaphore here so concurrent requests share
+	// one bounded simulation pool.
+	Gate func(run func())
+	// OnLine, when set, receives each output line (without the trailing
+	// newline) as soon as it is available, in deterministic order: header
+	// first, then cells in grid order, then the footer. The server
+	// streams these to the client.
+	OnLine func(line []byte)
+}
+
+// Header is the first NDJSON line of a scenario run.
+type Header struct {
+	Scenario    string `json:"scenario"`
+	Fingerprint string `json:"fingerprint"`
+	Version     int    `json:"version"`
+	Cells       int    `json:"cells"`
+}
+
+// Footer is the last NDJSON line of a scenario run.
+type Footer struct {
+	Done  bool `json:"done"`
+	Cells int  `json:"cells"`
+}
+
+// Run executes every cell of the compiled scenario across the bounded
+// worker pool and returns the output lines: a header, one JSON object per
+// cell in grid order, and a footer. Cells are simulated concurrently but
+// emitted in order, so the concatenated output is byte-identical for any
+// worker count.
+func (c *Compiled) Run(opts RunOptions) ([][]byte, error) {
+	var mu sync.Mutex
+	var lines [][]byte
+	emit := func(line []byte) {
+		lines = append(lines, line)
+		if opts.OnLine != nil {
+			opts.OnLine(line)
+		}
+	}
+
+	head, err := json.Marshal(Header{
+		Scenario:    c.Doc.Name,
+		Fingerprint: c.Fingerprint,
+		Version:     c.Doc.SchemaVersion,
+		Cells:       len(c.Cells),
+	})
+	if err != nil {
+		return nil, err
+	}
+	emit(head)
+
+	pending := make(map[int][]byte, len(c.Cells))
+	next := 0
+	err = pool.ForEach(opts.Workers, len(c.Cells), func(i int) error {
+		if opts.Context != nil {
+			if ctxErr := opts.Context.Err(); ctxErr != nil {
+				return fmt.Errorf("scenario: canceled before cell %d: %w", i, ctxErr)
+			}
+		}
+		var line []byte
+		var cellErr error
+		work := func() { line, cellErr = c.cellLine(c.Cells[i]) }
+		if opts.Gate != nil {
+			opts.Gate(work)
+		} else {
+			work()
+		}
+		if cellErr != nil {
+			return fmt.Errorf("scenario: cell %d: %w", i, cellErr)
+		}
+		mu.Lock()
+		pending[i] = line
+		for {
+			l, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			emit(l)
+			next++
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	foot, err := json.Marshal(Footer{Done: true, Cells: len(c.Cells)})
+	if err != nil {
+		return nil, err
+	}
+	emit(foot)
+	return lines, nil
+}
+
+// cellLine runs one cell and renders its row as compact JSON. Rows are
+// map-backed: encoding/json sorts map keys, so the bytes are deterministic.
+func (c *Compiled) cellLine(cell Cell) ([]byte, error) {
+	row, err := c.runCell(cell)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(row)
+}
+
+// cellMetrics is the unfiltered metric set of one cell.
+type cellMetrics struct {
+	makespan, meanWorkflowMakespan, cumulativeKickstart float64
+	jobs, attempts, retries, evictions, failovers       int
+	success                                             bool
+	logs                                                []*kickstart.Log
+}
+
+// runCell executes one cell over the core facade and assembles its row.
+func (c *Compiled) runCell(cell Cell) (map[string]any, error) {
+	var m cellMetrics
+	var err error
+	if site, ok := c.experimentSite(cell); ok {
+		m, err = c.runExperimentCell(site, cell)
+	} else {
+		m, err = c.runEnsembleCell(cell)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	row := map[string]any{
+		"cell":      cell.Index,
+		"n":         cell.N,
+		"seed":      cell.Seed,
+		"sites":     cell.SiteSet,
+		"failover":  cell.Failover,
+		"workflows": c.workflows(),
+	}
+	if cell.Policy != "" {
+		row["policy"] = cell.Policy
+	}
+	if cell.Cluster.MaxTasks > 0 {
+		row["cluster_max_tasks"] = cell.Cluster.MaxTasks
+	}
+	if cell.Cluster.TargetSeconds > 0 {
+		row["cluster_target_s"] = cell.Cluster.TargetSeconds
+	}
+
+	metrics := map[string]any{
+		"makespan_s":               m.makespan,
+		"mean_workflow_makespan_s": m.meanWorkflowMakespan,
+		"cumulative_kickstart_s":   m.cumulativeKickstart,
+		"jobs":                     m.jobs,
+		"attempts":                 m.attempts,
+		"retries":                  m.retries,
+		"evictions":                m.evictions,
+		"failovers":                m.failovers,
+		"success":                  m.success,
+	}
+	for _, f := range c.Doc.Outputs.Fields {
+		row[f] = metrics[f]
+	}
+
+	if ps := c.Doc.Outputs.Percentiles; len(ps) > 0 {
+		kick := collectValues(m.logs, (*kickstart.Record).Exec)
+		wait := collectValues(m.logs, (*kickstart.Record).Waiting)
+		kp := stats.PercentilesOf(kick, ps...)
+		wp := stats.PercentilesOf(wait, ps...)
+		for i, p := range ps {
+			suffix := strconv.FormatFloat(p, 'g', -1, 64)
+			row["kickstart_p"+suffix] = kp[i]
+			row["waiting_p"+suffix] = wp[i]
+		}
+	}
+	return row, nil
+}
+
+// workflows returns the member count of every cell.
+func (c *Compiled) workflows() int {
+	if c.Doc.Ensemble != nil {
+		return c.Doc.Ensemble.Workflows
+	}
+	return 1
+}
+
+// collectValues extracts f over the successful attempts of every log.
+func collectValues(logs []*kickstart.Log, f func(*kickstart.Record) float64) []float64 {
+	var vs []float64
+	for _, lg := range logs {
+		for _, r := range lg.Successes() {
+			vs = append(vs, f(r))
+		}
+	}
+	return vs
+}
+
+// runExperimentCell is the plan-cached single-site path: the cell maps
+// onto core.Experiment, so its plan is cloned from the keyed master and
+// only the seed's chunk runtimes are patched in.
+func (c *Compiled) runExperimentCell(site string, cell Cell) (cellMetrics, error) {
+	e := &core.Experiment{
+		Seed:           cell.Seed,
+		SandhillsSlots: c.presetSlots("sandhills", 300),
+		OSGSlots:       c.presetSlots("osg", 600),
+		RetryLimit:     c.retries,
+		Workload:       workflow.CustomWorkload(c.params, cell.Seed),
+		Cost:           workflow.DefaultCostModel(),
+	}
+	r, err := e.RunClustered(site, cell.N, cell.Cluster.options())
+	if err != nil {
+		return cellMetrics{}, err
+	}
+	res := r.Result
+	return cellMetrics{
+		makespan:             r.Summary.WallTime,
+		meanWorkflowMakespan: r.Summary.WallTime,
+		cumulativeKickstart:  r.Summary.CumulativeKickstart,
+		jobs:                 r.Summary.Jobs,
+		attempts:             r.Summary.Attempts,
+		retries:              res.Retries,
+		evictions:            res.Evictions,
+		failovers:            res.Failovers,
+		success:              res.Success,
+		logs:                 []*kickstart.Log{res.Log},
+	}, nil
+}
+
+// runEnsembleCell is the general path: multi-site sets, inline or
+// overridden sites, policy/failover cells and ensembles all compile onto
+// core.EnsembleExperiment (a single workflow is an ensemble of one).
+// Member workflows are seeded cell.Seed+i; the shared member-DAX cache
+// serves repeated (params, seed, n) shapes across cells and requests.
+func (c *Compiled) runEnsembleCell(cell Cell) (cellMetrics, error) {
+	policy := cell.Policy
+	if policy == "" {
+		// Single-site set: any policy resolves every job to the one site.
+		policy = planner.PolicyDataAware
+	}
+	// Mix n into the platform seed (as core.RunClustered does) so sweep
+	// cells draw independent platform noise, while cells that differ only
+	// in policy share it — paired comparisons.
+	cfgSeed := cell.Seed ^ (uint64(cell.N) * 0x9e3779b97f4a7c15)
+	exp := &core.EnsembleExperiment{
+		Seed:       cell.Seed,
+		Workflows:  c.workflows(),
+		N:          cell.N,
+		Policy:     policy,
+		Sites:      cell.SiteSet,
+		Catalogs:   c.cats,
+		RetryLimit: c.retries,
+		Cluster:    cell.Cluster.options(),
+		Failover:   cell.Failover,
+		// Cells are already fanned out across the pool; keep per-cell
+		// planning serial so worker counts never nest.
+		Workers: 1,
+		MemberWorkload: func(i int) workflow.Workload {
+			return workflow.CustomWorkload(c.params, cell.Seed+uint64(i))
+		},
+	}
+	if c.Doc.Ensemble != nil {
+		exp.MaxInFlight = c.Doc.Ensemble.MaxInFlight
+	}
+	for _, name := range cell.SiteSet {
+		exp.Platforms = append(exp.Platforms, c.siteConfig(c.byName[name], cfgSeed))
+	}
+	res, report, err := exp.Run()
+	if err != nil {
+		return cellMetrics{}, err
+	}
+	m := cellMetrics{
+		makespan:             report.Makespan,
+		meanWorkflowMakespan: report.MeanWorkflowMakespan,
+		retries:              report.TotalRetries,
+		evictions:            report.TotalEvictions,
+		failovers:            report.TotalFailovers,
+		success:              true,
+	}
+	for _, w := range res.Workflows {
+		sum := stats.Summarize(w.Result.Log, w.Result.Makespan)
+		m.cumulativeKickstart += sum.CumulativeKickstart
+		m.jobs += sum.Jobs
+		m.attempts += sum.Attempts
+		m.success = m.success && w.Result.Success
+		m.logs = append(m.logs, w.Result.Log)
+	}
+	return m, nil
+}

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+
+	"pegflow/internal/core"
+	"pegflow/internal/scenario"
+)
+
+// MaxScenarioBytes bounds a POSTed scenario document.
+const MaxScenarioBytes = 1 << 20
+
+// Options configures the service.
+type Options struct {
+	// Workers is the size of the process-wide cell pool shared by every
+	// request; <= 0 means runtime.NumCPU().
+	Workers int
+	// MaxInFlight caps concurrently running scenario requests; further
+	// POSTs get 429. 0 means 2×Workers.
+	MaxInFlight int
+}
+
+// Server is the scenario HTTP service. Create one with New.
+type Server struct {
+	opts     Options
+	mux      *http.ServeMux
+	cellGate chan struct{}
+	requests chan struct{}
+}
+
+// New builds the service and its routes.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2 * opts.Workers
+	}
+	s := &Server{
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		cellGate: make(chan struct{}, opts.Workers),
+		requests: make(chan struct{}, opts.MaxInFlight),
+	}
+	s.mux.HandleFunc("POST /v1/scenarios/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/scenarios/check", s.handleCheck)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// readScenario reads, parses and compiles the request body.
+func readScenario(w http.ResponseWriter, r *http.Request) (*scenario.Compiled, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxScenarioBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
+		return nil, false
+	}
+	if len(body) > MaxScenarioBytes {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("scenario document exceeds %d bytes", MaxScenarioBytes))
+		return nil, false
+	}
+	doc, err := scenario.Parse("request", body)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return nil, false
+	}
+	c, err := scenario.Compile(doc)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return nil, false
+	}
+	return c, true
+}
+
+// handleRun streams NDJSON cell results for the POSTed scenario.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.requests <- struct{}{}:
+		defer func() { <-s.requests }()
+	default:
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("%d scenario runs already in flight", s.opts.MaxInFlight))
+		return
+	}
+	c, ok := readScenario(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Scenario-Fingerprint", c.Fingerprint)
+	flusher, _ := w.(http.Flusher)
+	_, err := c.Run(scenario.RunOptions{
+		Workers: s.opts.Workers,
+		Context: r.Context(),
+		Gate:    s.gateCell,
+		OnLine: func(line []byte) {
+			w.Write(line)
+			io.WriteString(w, "\n")
+			if flusher != nil {
+				flusher.Flush()
+			}
+		},
+	})
+	if err != nil {
+		// The header line is already out; report the failure in-band as
+		// the final NDJSON line.
+		msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+		w.Write(msg)
+		io.WriteString(w, "\n")
+	}
+}
+
+// gateCell acquires a token from the process-wide cell pool.
+func (s *Server) gateCell(run func()) {
+	s.cellGate <- struct{}{}
+	defer func() { <-s.cellGate }()
+	run()
+}
+
+// CheckResponse is the body of POST /v1/scenarios/check.
+type CheckResponse struct {
+	Valid       bool   `json:"valid"`
+	Scenario    string `json:"scenario,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Cells       int    `json:"cells,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// handleCheck validates and fingerprints a scenario without running it.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxScenarioBytes+1))
+	if err != nil || len(body) > MaxScenarioBytes {
+		httpError(w, http.StatusBadRequest, "unreadable or oversized scenario document")
+		return
+	}
+	resp := CheckResponse{}
+	if doc, perr := scenario.Parse("request", body); perr != nil {
+		resp.Error = perr.Error()
+	} else if c, cerr := scenario.Compile(doc); cerr != nil {
+		resp.Error = cerr.Error()
+	} else {
+		resp.Valid = true
+		resp.Scenario = doc.Name
+		resp.Fingerprint = c.Fingerprint
+		resp.Cells = len(c.Cells)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the body of GET /v1/healthz.
+type HealthResponse struct {
+	OK bool `json:"ok"`
+	// Workers and MaxInFlight echo the service configuration.
+	Workers     int `json:"workers"`
+	MaxInFlight int `json:"max_inflight"`
+	// Cache reports the process-wide plan/member-DAX cache counters; a
+	// warm service shows retrievals growing while builds stay flat.
+	Cache core.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:          true,
+		Workers:     s.opts.Workers,
+		MaxInFlight: s.opts.MaxInFlight,
+		Cache:       core.PlanCacheStats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pegflow/internal/core"
+)
+
+// testScenario runs through the plan-cached experiment path on both
+// built-in presets: 2 site sets × 2 n = 4 cells.
+const testScenario = `{
+  "version": 1,
+  "name": "server-test",
+  "sites": [
+    {"preset": "sandhills", "slots": 32},
+    {"preset": "osg", "slots": 64}
+  ],
+  "site_sets": [["sandhills"], ["osg"]],
+  "workload": {
+    "params": {"num_clusters": 2000, "max_cluster_size": 120, "size_exponent": 0.5, "mean_read_len": 1000},
+    "n": [16, 32],
+    "seeds": [11]
+  },
+  "outputs": {"fields": ["makespan_s", "retries", "evictions", "success"], "percentiles": [50, 99]}
+}`
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// postWave fires n concurrent scenario POSTs and returns the bodies.
+func postWave(t *testing.T, ts *httptest.Server, n int) [][]byte {
+	t.Helper()
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	errs := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/scenarios/run", "application/json",
+				strings.NewReader(testScenario))
+			if err != nil {
+				errs[i] = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = resp.Status
+				return
+			}
+			bodies[i], err = io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err.Error()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("request %d: %s", i, e)
+		}
+	}
+	return bodies
+}
+
+// TestConcurrentPostsAndWarmCache is the acceptance scenario: ≥8
+// concurrent scenario POSTs produce identical per-cell results, and a
+// repeat submission wave runs entirely warm — zero new master plans, only
+// cache retrievals — and no slower than the cold wave.
+func TestConcurrentPostsAndWarmCache(t *testing.T) {
+	core.ResetPlanCache()
+	ts := httptest.NewServer(New(Options{Workers: 4, MaxInFlight: 32}))
+	defer ts.Close()
+
+	before := core.PlanCacheStats()
+	coldStart := time.Now()
+	cold := postWave(t, ts, 8)
+	coldElapsed := time.Since(coldStart)
+	afterCold := core.PlanCacheStats()
+
+	for i := 1; i < len(cold); i++ {
+		if !bytes.Equal(cold[0], cold[i]) {
+			t.Fatalf("concurrent responses differ:\n--- 0 ---\n%s--- %d ---\n%s", cold[0], i, cold[i])
+		}
+	}
+	lines := bytes.Split(bytes.TrimSpace(cold[0]), []byte("\n"))
+	if len(lines) != 2+4 {
+		t.Fatalf("response has %d lines, want header + 4 cells + footer:\n%s", len(lines), cold[0])
+	}
+	if builds := afterCold.PlanBuilds - before.PlanBuilds; builds != 4 {
+		t.Errorf("cold wave built %d plan masters, want 4 (one per cell shape)", builds)
+	}
+
+	warmStart := time.Now()
+	warm := postWave(t, ts, 8)
+	warmElapsed := time.Since(warmStart)
+	afterWarm := core.PlanCacheStats()
+
+	if !bytes.Equal(warm[0], cold[0]) {
+		t.Errorf("warm response differs from cold response")
+	}
+	for i := 1; i < len(warm); i++ {
+		if !bytes.Equal(warm[0], warm[i]) {
+			t.Fatalf("warm responses differ between clients")
+		}
+	}
+	if builds := afterWarm.PlanBuilds - afterCold.PlanBuilds; builds != 0 {
+		t.Errorf("repeat submissions built %d new plan masters, want 0 (warm cache)", builds)
+	}
+	if served := afterWarm.PlanRetrievals - afterCold.PlanRetrievals; served != 8*4 {
+		t.Errorf("repeat submissions served %d cached plans, want 32", served)
+	}
+	// The warm wave does strictly less work (no DAX construction, no
+	// catalog resolution, no planning); allow generous scheduler noise.
+	if warmElapsed > coldElapsed*3/2 {
+		t.Errorf("no warm-cache speedup: cold wave %v, warm wave %v", coldElapsed, warmElapsed)
+	}
+	t.Logf("cold wave %v, warm wave %v (%.2fx)", coldElapsed, warmElapsed,
+		float64(coldElapsed)/float64(warmElapsed))
+}
+
+// TestRequestThrottle pins the in-flight cap: a request whose body is
+// still streaming holds its slot, so the next POST is rejected with 429.
+func TestRequestThrottle(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 1, MaxInFlight: 1}))
+	defer ts.Close()
+
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(ts.URL+"/v1/scenarios/run", "application/json", pr)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// The handler acquires its slot, then blocks reading the body.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := post(t, ts, "/v1/scenarios/run", testScenario)
+		if code == http.StatusTooManyRequests {
+			if !bytes.Contains(body, []byte("in flight")) {
+				t.Errorf("429 body = %s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never saw 429 while a request held the only slot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pw.CloseWithError(io.ErrUnexpectedEOF)
+	<-done
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}))
+	defer ts.Close()
+
+	code, body := post(t, ts, "/v1/scenarios/check", testScenario)
+	if code != http.StatusOK {
+		t.Fatalf("check: %d %s", code, body)
+	}
+	var ok CheckResponse
+	if err := json.Unmarshal(body, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if !ok.Valid || ok.Cells != 4 || len(ok.Fingerprint) != 64 || ok.Scenario != "server-test" {
+		t.Errorf("check response: %+v", ok)
+	}
+
+	bad := strings.Replace(testScenario, `"slots": 32`, `"slots": -1`, 1)
+	code, body = post(t, ts, "/v1/scenarios/check", bad)
+	if code != http.StatusOK {
+		t.Fatalf("check(bad): %d %s", code, body)
+	}
+	var nok CheckResponse
+	if err := json.Unmarshal(body, &nok); err != nil {
+		t.Fatal(err)
+	}
+	if nok.Valid || !strings.Contains(nok.Error, "sites[0].slots") ||
+		!strings.Contains(nok.Error, "request:") {
+		t.Errorf("invalid scenario not rejected with a field-qualified error: %+v", nok)
+	}
+}
+
+func TestInvalidScenarioRejectedOnRun(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 2}))
+	defer ts.Close()
+	code, body := post(t, ts, "/v1/scenarios/run", `{"version": 1}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("run(invalid) = %d %s, want 422", code, body)
+	}
+}
+
+func TestHealth(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 3, MaxInFlight: 7}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Workers != 3 || h.MaxInFlight != 7 {
+		t.Errorf("health: %+v", h)
+	}
+}

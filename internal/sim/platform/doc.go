@@ -1,0 +1,19 @@
+// Package platform provides discrete-event models of the paper's two
+// execution platforms — Sandhills (a campus HPC cluster) and the Open
+// Science Grid — and an engine.Executor that runs planned workflows on
+// them in virtual time.
+//
+// A platform is a slot pool plus four stochastic mechanisms, each of which
+// the paper identifies as a cause of the observed Sandhills/OSG gap:
+//
+//   - per-job dispatch latency (submit-host + remote queueing): small and
+//     steady on the campus cluster, heavy-tailed and uneven on the
+//     opportunistic grid;
+//   - a download/install setup phase for jobs whose software stack is not
+//     preinstalled (planner.Job.NeedsInstall — the red rectangles of the
+//     paper's Fig. 3);
+//   - node speed heterogeneity: grid nodes vary, and some are faster than
+//     campus nodes (the paper's "Kickstart Time" observation);
+//   - preemption: opportunistic slots can be reclaimed by their owners,
+//     ending the attempt with an eviction that DAGMan retries.
+package platform

@@ -1,11 +1,3 @@
-// Package rng provides deterministic random number streams and the
-// distributions used by the platform models and the synthetic workload
-// generator.
-//
-// Every stochastic component of the simulator draws from its own named
-// Stream derived from a single experiment seed, so adding a new consumer of
-// randomness never perturbs the draws seen by existing ones, and repeated
-// runs are bit-identical.
 package rng
 
 import (

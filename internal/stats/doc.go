@@ -1,0 +1,13 @@
+// Package stats aggregates kickstart records into the quantities the
+// paper's evaluation reports — the role of pegasus-statistics:
+//
+//   - "Workflow Wall Time": total running time of the workflow;
+//   - "Kickstart Time": actual execution duration of a job on its node;
+//   - "Waiting Time": submit-host plus remote-host queueing before the
+//     job starts doing anything;
+//   - "Download/Install Time": the setup phase spent staging software on
+//     sites without a preinstalled stack (OSG).
+//
+// Aggregations are offered per workflow and per transformation, which is
+// exactly the granularity of the paper's Fig. 4 and Fig. 5.
+package stats

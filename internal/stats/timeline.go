@@ -155,14 +155,26 @@ func Percentile(log *kickstart.Log, p float64, f func(*kickstart.Record) float64
 // matches Percentile: no successes yields zeros, each p is clamped to
 // [0, 100], and a NaN p yields 0.
 func Percentiles(log *kickstart.Log, f func(*kickstart.Record) float64, ps ...float64) []float64 {
-	out := make([]float64, len(ps))
 	var vs []float64
 	for _, r := range log.Successes() {
 		vs = append(vs, f(r))
 	}
-	if len(vs) == 0 {
+	return PercentilesOf(vs, ps...)
+}
+
+// PercentilesOf returns the requested percentiles (0-100, nearest-rank)
+// of an arbitrary value set, with the same edge handling as Percentiles:
+// an empty set yields zeros, each p is clamped to [0, 100], and a NaN p
+// yields 0. The input slice is not modified. Callers that aggregate
+// across several logs (package scenario) extract values themselves and
+// batch them here.
+func PercentilesOf(values []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(values) == 0 {
 		return out
 	}
+	vs := make([]float64, len(values))
+	copy(vs, values)
 	sort.Float64s(vs)
 	for i, p := range ps {
 		out[i] = nearestRank(vs, p)

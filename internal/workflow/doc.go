@@ -1,0 +1,22 @@
+// Package workflow builds the blast2cap3 scientific workflow of the paper
+// (Fig. 2 for Sandhills, Fig. 3 for OSG) as an abstract DAX, and provides
+// the calibrated workload and cost models that let the simulator reproduce
+// the paper's measurements at full scale.
+//
+// Workflow shape (paper §V.C):
+//
+//	create_list_transcripts  create_list_alignments
+//	        │                        │
+//	        │                      split ──▶ protein_1..n
+//	        └──────┬─────────────────┘
+//	               ▼
+//	      run_cap3_1 … run_cap3_n     (one per cluster chunk, parallel)
+//	               │
+//	             merge
+//	               │
+//	        merge_not_joined
+//
+// The OSG variant (Fig. 3) has the same shape; the download/install steps
+// (red rectangles) are injected by the planner from the transformation
+// catalog, not drawn into the DAX.
+package workflow
