@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build lint test race bench fmt vet clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# Static-analysis suite (see docs/LINTING.md). Must exit clean; add
+# justified exemptions to lint.allow, never silence an analyzer.
+lint:
+	$(GO) run ./cmd/pegflow-lint ./...
+
+test:
+	$(GO) test -vet=all ./...
+
+# The stress variant CI runs on the concurrency-heavy packages.
+race:
+	$(GO) test -race -count=2 ./internal/server ./internal/scenario
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/sim/des ./internal/engine ./internal/fifo
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,122 @@
+// Command pegflow-lint runs pegflow's project-specific static-analysis
+// suite: the mechanical enforcement of the determinism, clone-before-
+// mutate and zero-allocation invariants (see docs/LINTING.md).
+//
+// Usage:
+//
+//	pegflow-lint [flags] [packages]
+//
+// With no packages it analyzes ./... from the working directory (or -C).
+// The exit code is 0 when clean, 1 when findings were reported, 2 on
+// usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pegflow/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pegflow-lint", flag.ContinueOnError)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array on stdout")
+		dir     = fs.String("C", ".", "directory to analyze from (module root for ./... patterns)")
+		allow   = fs.String("allow", "lint.allow", "allowlist file, relative to -C (missing file = empty allowlist)")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pegflow-lint [flags] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the pegflow invariant analyzers over the module (default ./...).\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	selected, err := analysis.Select(all, nameSet(*enable), nameSet(*disable))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegflow-lint: %v\n", err)
+		return 2
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "pegflow-lint: every analyzer is disabled")
+		return 2
+	}
+
+	allowPath := *allow
+	if !filepath.IsAbs(allowPath) {
+		allowPath = filepath.Join(*dir, allowPath)
+	}
+	allowlist, err := analysis.LoadAllowlist(allowPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegflow-lint: %v\n", err)
+		return 2
+	}
+
+	prog, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegflow-lint: %v\n", err)
+		return 2
+	}
+
+	suite := &analysis.Suite{Analyzers: selected, Allow: allowlist}
+	findings, err := suite.Run(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pegflow-lint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "pegflow-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(os.Stderr, "pegflow-lint: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// nameSet parses a comma-separated list into a set, ignoring empties.
+func nameSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out[part] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// File is the source file, relative to the analyzed module root when
+	// possible.
+	File string `json:"file"`
+	// Line and Col locate the finding (1-based).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Key is the stable allowlist key — what was matched (e.g. the
+	// forbidden callee "time.Now", or the mutated field
+	// "planner.Job.ExecSeconds"), independent of line numbers so
+	// allowlist entries survive unrelated edits.
+	Key string `json:"key"`
+	// Message is the human-readable diagnostic.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one whole-program check.
+type Analyzer interface {
+	// Name is the analyzer's flag/allowlist identifier.
+	Name() string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc() string
+	// Run inspects the program and reports findings. Position and
+	// analyzer stamping are handled by the caller's report func.
+	Run(prog *Program, report func(pos token.Position, key, message string)) error
+}
+
+// Suite is a configured set of analyzers plus an allowlist.
+type Suite struct {
+	Analyzers []Analyzer
+	Allow     *Allowlist
+}
+
+// Run executes every analyzer over the program, applies the allowlist,
+// and returns the surviving findings sorted by position. Allowlist
+// entries that matched nothing become findings themselves: a stale
+// suppression is a lint error, so the file can only shrink when the code
+// it excuses is gone.
+func (s *Suite) Run(prog *Program) ([]Finding, error) {
+	var out []Finding
+	for _, a := range s.Analyzers {
+		name := a.Name()
+		report := func(pos token.Position, key, message string) {
+			f := Finding{
+				Analyzer: name,
+				File:     relFile(prog.Dir, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Key:      key,
+				Message:  message,
+			}
+			if s.Allow != nil && s.Allow.permits(f) {
+				return
+			}
+			out = append(out, f)
+		}
+		if err := a.Run(prog, report); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	if s.Allow != nil {
+		enabled := make(map[string]bool, len(s.Analyzers))
+		for _, a := range s.Analyzers {
+			enabled[a.Name()] = true
+		}
+		out = append(out, s.Allow.unused(enabled)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// relFile rewrites filename relative to dir (slash-separated) when it is
+// inside it, for stable, machine-independent finding output.
+func relFile(dir, filename string) string {
+	if dir == "" {
+		return filepath.ToSlash(filename)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	if rel, err := filepath.Rel(abs, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// matchPath reports whether an import path matches any pattern. Patterns
+// are exact import paths, or subtree patterns ending in "/..." which
+// match the prefix package and everything below it.
+func matchPath(path string, patterns []string) bool {
+	for _, p := range patterns {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path (e.g. "pegflow/internal/sim/des").
+	Path string
+	// Dir is the directory holding the package sources.
+	Dir string
+	// Files are the parsed non-test Go files, in go list order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds full type information. It is populated only for module
+	// packages (Standard == false); dependency packages carry nil Info to
+	// bound memory.
+	Info *types.Info
+	// Standard marks GOROOT packages.
+	Standard bool
+}
+
+// Program is a loaded module: every requested package plus its transitive
+// dependencies, type-checked against a shared FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs maps import path to package, for the full dependency closure.
+	Pkgs map[string]*Package
+	// Module lists the non-Standard packages in go list (dependency)
+	// order — the packages analyzers run over.
+	Module []*Package
+	// Dir is the directory Load resolved patterns from (the module root
+	// for "./..." invocations).
+	Dir string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load enumerates patterns with `go list -deps -json` from dir, parses
+// every package in the closure and type-checks them in dependency order.
+// CGO is disabled so cgo-variant files never enter the parse set; the
+// repo itself is pure Go, so analysis results are identical.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	prog := &Program{
+		Fset: token.NewFileSet(),
+		Pkgs: make(map[string]*Package),
+		Dir:  dir,
+	}
+	imp := &progImporter{prog: prog, fallback: importer.Default()}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			prog.Pkgs["unsafe"] = &Package{Path: "unsafe", Types: types.Unsafe, Standard: true}
+			continue
+		}
+		pkg := &Package{Path: lp.ImportPath, Dir: lp.Dir, Standard: lp.Standard}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		if !lp.Standard {
+			pkg.Info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Scopes:     make(map[ast.Node]*types.Scope),
+				Implicits:  make(map[ast.Node]types.Object),
+			}
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		prog.Pkgs[lp.ImportPath] = pkg
+		if !lp.Standard {
+			prog.Module = append(prog.Module, pkg)
+		}
+	}
+	if len(prog.Module) == 0 {
+		return nil, fmt.Errorf("analysis: no module packages matched %s", strings.Join(patterns, " "))
+	}
+	return prog, nil
+}
+
+// progImporter resolves imports against the already-checked closure.
+// `go list -deps` emits dependencies before dependents, so by the time a
+// package is checked every import is present. The fallback importer is
+// only consulted for paths outside the closure (it should never fire for
+// a -deps load, but keeps errors comprehensible if it does).
+type progImporter struct {
+	prog     *Program
+	fallback types.Importer
+}
+
+func (i *progImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.prog.Pkgs[path]; ok {
+		return p.Types, nil
+	}
+	// GOROOT-vendored dependencies (golang.org/x/...) are listed by the
+	// go command under a "vendor/" prefix, but imported by their
+	// unprefixed path.
+	if p, ok := i.prog.Pkgs["vendor/"+path]; ok {
+		return p.Types, nil
+	}
+	if i.fallback != nil {
+		if p, err := i.fallback.Import(path); err == nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("package %q not in dependency closure", path)
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// slabMarker is the doc-comment marker that opts a type into copy
+// checking.
+const slabMarker = "//pegflow:slab"
+
+// SlabCopy guards the zero-allocation kernel's ownership model. Types
+// marked //pegflow:slab carry arena state — a slab of by-value entries
+// plus a free list and generation counters (des.Simulation, des.Resource,
+// fifo.Queue) — and a by-value copy silently aliases that state: both
+// copies pop the same free slots, hand out colliding generations, and
+// corrupt each other's heaps. The analyzer flags every construct that
+// copies a marked type (or a struct embedding one by value): assignments
+// reading an existing value, by-value parameters, results and receivers,
+// and range clauses over slices of marked types. It is marker-driven, so
+// adding protection to a new arena type is a one-line comment.
+type SlabCopy struct{}
+
+func (*SlabCopy) Name() string { return "slabcopy" }
+func (*SlabCopy) Doc() string {
+	return "flag by-value copies of //pegflow:slab arena types whose copy would alias the free list"
+}
+
+func (s *SlabCopy) Run(prog *Program, report func(pos token.Position, key, message string)) error {
+	marked := markedTypes(prog)
+	if len(marked) == 0 {
+		return nil
+	}
+	cache := map[types.Type]bool{}
+	isProtected := func(t types.Type) (string, bool) {
+		return protectedSlabType(t, marked, cache, 0)
+	}
+	for _, pkg := range prog.Module {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					s.checkSignature(prog, pkg, n, isProtected, report)
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						// `_ = v` discards the copy; nothing aliases.
+						if i < len(n.Lhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+								continue
+							}
+						}
+						s.checkValueRead(prog, pkg, rhs, "assignment copies", isProtected, report)
+					}
+				case *ast.ValueSpec:
+					for _, v := range n.Values {
+						s.checkValueRead(prog, pkg, v, "assignment copies", isProtected, report)
+					}
+				case *ast.ReturnStmt:
+					for _, r := range n.Results {
+						s.checkValueRead(prog, pkg, r, "return copies", isProtected, report)
+					}
+				case *ast.RangeStmt:
+					if n.Value != nil {
+						if t := pkg.Info.TypeOf(n.Value); t != nil {
+							if key, ok := isProtected(t); ok {
+								pos := prog.Fset.Position(n.Value.Pos())
+								report(pos, key, "range value copies slab type "+key+" per element; iterate by index or over pointers")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkSignature flags by-value slab params, results and receivers.
+func (s *SlabCopy) checkSignature(prog *Program, pkg *Package, fd *ast.FuncDecl, isProtected func(types.Type) (string, bool), report func(pos token.Position, key, message string)) {
+	check := func(fields *ast.FieldList, what string) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			t := pkg.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if key, ok := isProtected(t); ok {
+				pos := prog.Fset.Position(f.Type.Pos())
+				report(pos, key, what+" of slab type "+key+" copies the arena and free list by value; use a pointer")
+			}
+		}
+	}
+	check(fd.Recv, "value receiver")
+	check(fd.Type.Params, "by-value parameter")
+	check(fd.Type.Results, "by-value result")
+}
+
+// checkValueRead flags expressions that read an existing slab value
+// (identifier, field, index or deref) in a copying position. Fresh
+// composite literals and zero values are fine: they alias nothing yet.
+func (s *SlabCopy) checkValueRead(prog *Program, pkg *Package, expr ast.Expr, what string, isProtected func(types.Type) (string, bool), report func(pos token.Position, key, message string)) {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if key, ok := isProtected(t); ok {
+		pos := prog.Fset.Position(e.Pos())
+		report(pos, key, what+" slab type "+key+" by value, aliasing its arena and free list; use a pointer")
+	}
+}
+
+// markedTypes collects every type declaration carrying the //pegflow:slab
+// marker in its doc comment.
+func markedTypes(prog *Program) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, pkg := range prog.Module {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !hasMarker(ts.Doc) && !(len(gd.Specs) == 1 && hasMarker(gd.Doc)) {
+						continue
+					}
+					if obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), slabMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// protectedSlabType reports whether t is a marked type or a struct/array
+// carrying one by value, returning a short display key. Pointers, slices
+// and maps reference rather than carry, so they stop the recursion.
+func protectedSlabType(t types.Type, marked map[*types.TypeName]bool, cache map[types.Type]bool, depth int) (string, bool) {
+	if depth > 10 {
+		return "", false
+	}
+	t = types.Unalias(t)
+	if done, ok := cache[t]; ok && !done {
+		return "", false
+	}
+	if n, ok := t.(*types.Named); ok {
+		if marked[n.Origin().Obj()] {
+			return shortTypeKey(typeKey(n)), true
+		}
+		cache[t] = false // cycle guard while we look inside
+		key, ok := protectedSlabType(n.Underlying(), marked, cache, depth+1)
+		delete(cache, t)
+		if ok {
+			// Report the outermost named carrier, not the inner field type.
+			return shortTypeKey(typeKey(n)), true
+		}
+		return key, ok
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if key, ok := protectedSlabType(u.Field(i).Type(), marked, cache, depth+1); ok {
+				return key, true
+			}
+		}
+	case *types.Array:
+		return protectedSlabType(u.Elem(), marked, cache, depth+1)
+	}
+	return "", false
+}

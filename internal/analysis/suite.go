@@ -1,0 +1,129 @@
+package analysis
+
+import "fmt"
+
+// Production configuration: the boundaries, protected types and guarded
+// hot functions of this repo. Fixture tests build analyzers with their
+// own configs; this file is the single place the real invariant surface
+// is declared.
+
+// OutputPathPackages are the packages whose emissions reach users —
+// reports, NDJSON, golden files, HTTP responses. detrange runs here.
+var OutputPathPackages = []string{
+	"pegflow/internal/stats",
+	"pegflow/internal/scenario",
+	"pegflow/internal/server",
+	"pegflow/internal/core",
+	"pegflow/internal/ensemble",
+	"pegflow/internal/dax",
+	"pegflow/cmd/...",
+}
+
+// SimBoundaryPackages are the packages inside the simulation boundary,
+// where every input must derive from (scenario, seed). detsource runs
+// here.
+var SimBoundaryPackages = []string{
+	"pegflow/internal/sim/...",
+	"pegflow/internal/engine",
+	"pegflow/internal/planner",
+	"pegflow/internal/ensemble",
+}
+
+// NewCloneGate returns the production clonegate: the cached plan/DAX
+// types, their defining packages, and the audited whitelist of functions
+// that mutate fresh (not cached) values.
+func NewCloneGate() *CloneGate {
+	return &CloneGate{
+		Protected: []string{
+			"pegflow/internal/planner.Plan",
+			"pegflow/internal/planner.Job",
+			"pegflow/internal/dax.Workflow",
+			"pegflow/internal/dax.Job",
+		},
+		DefiningPkgs: []string{
+			"pegflow/internal/planner",
+			"pegflow/internal/dax",
+		},
+		AllowedFuncs: map[string]string{
+			"pegflow/internal/workflow.BuildDAX":                  "constructor: assembles a brand-new abstract DAX; nothing it touches is cached yet",
+			"pegflow/internal/workflow.BuildSerialDAX":            "constructor: assembles the serial-baseline DAX from scratch",
+			"pegflow/internal/core.Experiment.cachedWorkflowPlan": "patches seed-dependent chunk runtimes into the private Clone it just took from the plan cache",
+			"pegflow/internal/core.EnsembleExperiment.Sources":    "renames the private Clone returned by memberDAX, never the cached master",
+		},
+	}
+}
+
+// NewEscapeGate returns the production escapegate: the allocation-free
+// hot path of the slab DES kernel, the resource arena, the engine ready
+// queue and the fifo ring. Growth paths (arena append) never show in -m
+// output — escape analysis reports forced-to-heap values, not amortized
+// slice growth — so guarding schedule/fire wholesale is sound.
+func NewEscapeGate() *EscapeGate {
+	return &EscapeGate{Guards: []EscapeGuard{
+		{
+			Pkg: "pegflow/internal/sim/des",
+			Funcs: []string{
+				// event slab + heap
+				"Simulation.At", "Simulation.After", "Simulation.Cancel",
+				"Simulation.Step", "Simulation.release", "Simulation.lookup",
+				"Simulation.heapPush", "Simulation.heapRemove",
+				"Simulation.siftUp", "Simulation.siftDown", "Simulation.heapSwap",
+				"Simulation.less",
+				// resource request arena
+				"Resource.Acquire", "Resource.Release", "Resource.releaseReq",
+				"Resource.popHead", "Resource.maybeCompact", "Resource.dispatch",
+				"Resource.account", "Acquisition.Cancel",
+			},
+		},
+		{
+			Pkg:   "pegflow/internal/engine",
+			Funcs: []string{"readyQueue.push", "readyQueue.pop", "readyQueue.less"},
+		},
+		{
+			Pkg:   "pegflow/internal/fifo",
+			Funcs: []string{"Queue.Push", "Queue.Pop", "Queue.Peek"},
+		},
+	}}
+}
+
+// Analyzers returns the full production suite in a stable order.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		&DetRange{Packages: OutputPathPackages},
+		&DetSource{Packages: SimBoundaryPackages},
+		NewCloneGate(),
+		&SlabCopy{},
+		NewEscapeGate(),
+	}
+}
+
+// Select filters analyzers by the enable/disable name sets (nil or empty
+// enable means all). Unknown names error so a typo cannot silently run
+// nothing.
+func Select(all []Analyzer, enable, disable map[string]bool) ([]Analyzer, error) {
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name()] = true
+	}
+	for name := range enable {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	for name := range disable {
+		if !known[name] {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	var out []Analyzer
+	for _, a := range all {
+		if len(enable) > 0 && !enable[a.Name()] {
+			continue
+		}
+		if disable[a.Name()] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

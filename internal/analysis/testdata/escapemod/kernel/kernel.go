@@ -1,0 +1,42 @@
+// Package kernel is the escapegate fixture: a miniature slab kernel with
+// one clean hot function, one that allocates only on its panic path, and
+// one with a deliberate steady-state heap allocation.
+package kernel
+
+import "fmt"
+
+// Sim is a toy slab arena.
+type Sim struct {
+	arena []int64
+	free  []int32
+	sink  *int64
+}
+
+// Clean reuses free-list slots and grows by append: no value is forced to
+// the heap, so the gate must pass it.
+func (s *Sim) Clean(v int64) {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.arena[slot] = v
+		return
+	}
+	s.arena = append(s.arena, v)
+}
+
+// PanicsOnly allocates only inside the panic call; the gate's panic-path
+// exemption must pass it.
+func (s *Sim) PanicsOnly(i int) int64 {
+	if i < 0 || i >= len(s.arena) {
+		panic(fmt.Sprintf("kernel: slot %d out of range (%d slots)", i, len(s.arena)))
+	}
+	return s.arena[i]
+}
+
+// Dirty allocates on every call: new(int64) escapes into the struct. The
+// gate must flag it.
+func (s *Sim) Dirty(v int64) {
+	p := new(int64)
+	*p = v
+	s.sink = p
+}

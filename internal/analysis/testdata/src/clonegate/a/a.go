@@ -1,0 +1,54 @@
+// Package a is the clonegate fixture: writes through the cached plan/DAX
+// types from outside their defining packages.
+package a
+
+import (
+	"pegflow/internal/dax"
+	"pegflow/internal/planner"
+)
+
+func badPatchJob(p *planner.Plan) {
+	for _, j := range p.Jobs() {
+		j.ExecSeconds = 1 // want `write to planner\.Job\.ExecSeconds`
+	}
+}
+
+func badGraphRename(p *planner.Plan) {
+	p.Graph.Name = "renamed" // want `write to dax\.Workflow\.Name`
+}
+
+func badInfoStore(p *planner.Plan, j *planner.Job) {
+	p.Info["extra"] = j // want `write to planner\.Plan\.Info`
+}
+
+func badDaxJobArgs(w *dax.Workflow) {
+	w.Job("chunk").Args = nil // want `write to dax\.Job\.Args`
+}
+
+func badPriorityBump(j *planner.Job) {
+	j.Priority++ // want `write to planner\.Job\.Priority`
+}
+
+func badSiteList(p *planner.Plan) {
+	p.Sites[0] = "osg" // want `write to planner\.Plan\.Sites`
+}
+
+// freshCloneMutation is whitelisted in the test's analyzer config: it
+// mutates a value it just cloned, the pattern the whitelist exists for.
+func freshCloneMutation(p *planner.Plan) *planner.Plan {
+	q := p.Clone()
+	q.Site = "elsewhere"
+	return q
+}
+
+func goodReads(p *planner.Plan) float64 {
+	return p.TotalExecSeconds() // reads never flag
+}
+
+func goodLocalState(p *planner.Plan) map[string]bool {
+	seen := make(map[string]bool)
+	for _, j := range p.Jobs() {
+		seen[j.ID] = true // write to a local map keyed by job data: fine
+	}
+	return seen
+}

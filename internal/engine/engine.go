@@ -133,6 +133,10 @@ type readyItem struct {
 // by submission sequence (FIFO). It is a hand-rolled binary heap of values
 // — container/heap's interface would box every item through `any`,
 // allocating on each push in the engine's hot loop.
+//
+// A by-value copy aliases the heap backing array; slabcopy flags it.
+//
+//pegflow:slab
 type readyQueue struct {
 	items []readyItem
 	seq   int32

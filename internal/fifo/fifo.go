@@ -5,6 +5,12 @@ package fifo
 const compactThreshold = 32
 
 // Queue is a first-in-first-out queue of T. The zero value is ready to use.
+//
+// Copying a Queue by value aliases buf between the copies while head
+// diverges, silently re-delivering or dropping elements; slabcopy flags
+// by-value copies.
+//
+//pegflow:slab
 type Queue[T any] struct {
 	buf  []T
 	head int

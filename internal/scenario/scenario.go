@@ -415,15 +415,21 @@ func (d *Doc) validateSites(ef func(path, format string, args ...any)) map[strin
 		if s.SpeedJitter != nil && (*s.SpeedJitter < 0 || *s.SpeedJitter >= 1) {
 			ef(p("speed_jitter"), "must be in [0, 1), got %v", *s.SpeedJitter)
 		}
-		for field, v := range map[string]*float64{
-			"submit_interval": s.SubmitInterval, "dispatch_mean": s.DispatchMean,
-			"dispatch_cv": s.DispatchCV, "setup_mean": s.SetupMean, "setup_cv": s.SetupCV,
-			"setup_mbps": s.SetupMBps, "eviction_rate": s.EvictionRate,
-			"slot_ramp_seconds": s.SlotRampSeconds, "install_mb": s.InstallMB,
-			"stage_in_mbps": s.StageInMBps,
+		// Ordered slice, not a map: validation errors must come out in
+		// declaration order every run (pegflow-lint detrange enforces
+		// this — a map range here emitted them in random order).
+		for _, fv := range []struct {
+			field string
+			v     *float64
+		}{
+			{"submit_interval", s.SubmitInterval}, {"dispatch_mean", s.DispatchMean},
+			{"dispatch_cv", s.DispatchCV}, {"setup_mean", s.SetupMean}, {"setup_cv", s.SetupCV},
+			{"setup_mbps", s.SetupMBps}, {"eviction_rate", s.EvictionRate},
+			{"slot_ramp_seconds", s.SlotRampSeconds}, {"install_mb", s.InstallMB},
+			{"stage_in_mbps", s.StageInMBps},
 		} {
-			if v != nil && *v < 0 {
-				ef(p(field), "must be non-negative, got %v", *v)
+			if fv.v != nil && *fv.v < 0 {
+				ef(p(fv.field), "must be non-negative, got %v", *fv.v)
 			}
 		}
 		if s.InitialSlots != nil && *s.InitialSlots < 0 {

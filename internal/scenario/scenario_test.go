@@ -265,3 +265,47 @@ func TestCellCapEnforced(t *testing.T) {
 		t.Fatalf("expected the cell cap to trip, got %v", err)
 	}
 }
+
+// TestValidationErrorOrderIsDeterministic pins the detrange fix in
+// validateSites: the per-field negativity checks used to range a map, so
+// a scenario with several bad fields reported them in a different order
+// on different runs. They must come out in field declaration order,
+// identically, every time.
+func TestValidationErrorOrderIsDeterministic(t *testing.T) {
+	bad := `{
+  "version": 1,
+  "name": "bad-fields",
+  "sites": [
+    {"name": "s", "slots": 4, "speed_factor": 1.0,
+     "submit_interval": -1, "dispatch_mean": -2, "setup_mean": -3,
+     "eviction_rate": -4, "stage_in_mbps": -5}
+  ],
+  "workload": {
+    "params": {"num_clusters": 10, "max_cluster_size": 6, "size_exponent": 0.5, "mean_read_len": 900},
+    "n": [2]
+  }
+}`
+	_, err := Parse("bad.json", []byte(bad))
+	if err == nil {
+		t.Fatal("want validation errors, got nil")
+	}
+	first := err.Error()
+	order := []string{"submit_interval", "dispatch_mean", "setup_mean", "eviction_rate", "stage_in_mbps"}
+	last := -1
+	for _, field := range order {
+		i := strings.Index(first, field)
+		if i < 0 {
+			t.Fatalf("error is missing field %q:\n%s", field, first)
+		}
+		if i < last {
+			t.Fatalf("field %q reported out of declaration order:\n%s", field, first)
+		}
+		last = i
+	}
+	for run := 0; run < 20; run++ {
+		_, err := Parse("bad.json", []byte(bad))
+		if err == nil || err.Error() != first {
+			t.Fatalf("run %d: error text changed:\n%s\nvs\n%s", run, err, first)
+		}
+	}
+}

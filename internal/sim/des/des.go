@@ -38,6 +38,12 @@ type event struct {
 }
 
 // Simulation is a discrete-event simulator instance.
+//
+// Copying a Simulation by value aliases the event arena, free list and
+// heap between the copies; pegflow-lint's slabcopy analyzer flags any
+// by-value copy.
+//
+//pegflow:slab
 type Simulation struct {
 	now     Time
 	events  []event // slab arena; index = EventID.slot

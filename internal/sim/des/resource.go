@@ -8,6 +8,11 @@ package des
 // kernel's event storage: the FIFO queue holds arena slot numbers, callers
 // hold generation-checked Acquisition handles, and steady-state
 // acquire/grant cycles allocate nothing.
+//
+// A by-value copy would alias the request arena and free list; slabcopy
+// flags it.
+//
+//pegflow:slab
 type Resource struct {
 	sim      *Simulation
 	capacity int

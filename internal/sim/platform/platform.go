@@ -171,6 +171,11 @@ const recChunk = 256
 // recArena hands out *kickstart.Record values from append-only chunks.
 // Handed-out pointers stay valid because a chunk is never regrown — when
 // one fills, the arena starts a fresh chunk.
+//
+// A by-value copy aliases the open chunk, so both copies would hand out
+// the same record slots; slabcopy flags it.
+//
+//pegflow:slab
 type recArena struct {
 	chunk []kickstart.Record
 }
