@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race bench fmt vet clean
+.PHONY: all build lint test race bench bench-serve fmt vet clean
 
 all: build lint test
 
@@ -17,10 +17,15 @@ test:
 
 # The stress variant CI runs on the concurrency-heavy packages.
 race:
-	$(GO) test -race -count=2 ./internal/server ./internal/scenario
+	$(GO) test -race -count=2 ./internal/server/... ./internal/scenario
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/sim/des ./internal/engine ./internal/fifo
+
+# Load-test the serve tier and regenerate BENCH_serve.json; fails if any
+# request errors or the warm wave is not >= 5x cold throughput.
+bench-serve:
+	$(GO) run ./cmd/loadgen -min-speedup 5
 
 fmt:
 	gofmt -l -w .

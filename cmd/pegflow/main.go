@@ -33,6 +33,7 @@ import (
 	"pegflow/internal/planner"
 	"pegflow/internal/scenario"
 	"pegflow/internal/server"
+	"pegflow/internal/server/resultcache"
 	"pegflow/internal/sim/platform"
 	"pegflow/internal/stats"
 	"pegflow/internal/workflow"
@@ -75,8 +76,8 @@ func commands() []command {
 			run:   cmdEnsemble,
 		},
 		{
-			name: "scenario run", args: "<scenario.json>",
-			summary: "execute a declarative scenario file, one NDJSON line per cell",
+			name: "scenario run", args: "<scenario.json ...>",
+			summary: "execute declarative scenario files, one NDJSON line per cell",
 			flags:   func() *flag.FlagSet { fs, _ := scenarioRunFlags(); return fs },
 			run:     cmdScenarioRun,
 		},
@@ -576,12 +577,15 @@ func cmdEnsemble(args []string) error {
 
 type scenarioRunOpts struct {
 	workers int
+	cacheMB int
 }
 
 func scenarioRunFlags() (*flag.FlagSet, *scenarioRunOpts) {
 	o := &scenarioRunOpts{}
 	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
 	fs.IntVar(&o.workers, "workers", 0, "concurrent cells (0 = all CPUs; output is identical for any count)")
+	fs.IntVar(&o.cacheMB, "cache-mb", 0,
+		"share a content-addressed cell-result cache of this many MB across the given files (0 = off)")
 	return fs, o
 }
 
@@ -590,25 +594,37 @@ func cmdScenarioRun(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("scenario run: exactly one scenario file is required")
+	if fs.NArg() < 1 {
+		return fmt.Errorf("scenario run: at least one scenario file is required")
 	}
-	doc, err := scenario.Load(fs.Arg(0))
-	if err != nil {
-		return err
+	var cache scenario.ResultCache
+	if o.cacheMB > 0 {
+		cache = resultcache.New(int64(o.cacheMB) << 20)
 	}
-	c, err := scenario.Compile(doc)
-	if err != nil {
-		return err
+	for _, path := range fs.Args() {
+		doc, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		c, err := scenario.Compile(doc)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Run(scenario.RunOptions{
+			Workers: o.workers,
+			Cache:   cache,
+			OnLine: func(line []byte) error {
+				if _, err := os.Stdout.Write(line); err != nil {
+					return err
+				}
+				_, err := os.Stdout.Write([]byte{'\n'})
+				return err
+			},
+		}); err != nil {
+			return err
+		}
 	}
-	_, err = c.Run(scenario.RunOptions{
-		Workers: o.workers,
-		OnLine: func(line []byte) {
-			os.Stdout.Write(line)
-			os.Stdout.Write([]byte{'\n'})
-		},
-	})
-	return err
+	return nil
 }
 
 func cmdScenarioCheck(args []string) error {
@@ -639,6 +655,7 @@ type serveOpts struct {
 	addr        string
 	workers     int
 	maxInFlight int
+	cacheMB     int
 }
 
 func serveFlags() (*flag.FlagSet, *serveOpts) {
@@ -647,6 +664,8 @@ func serveFlags() (*flag.FlagSet, *serveOpts) {
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
 	fs.IntVar(&o.workers, "workers", 4, "process-wide simulation worker pool shared by all requests")
 	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "max concurrent scenario runs before 429 (0 = 2x workers)")
+	fs.IntVar(&o.cacheMB, "cache-mb", 64,
+		"content-addressed cell-result cache budget in MB (<= 0 disables the cache)")
 	return fs, o
 }
 
@@ -655,7 +674,15 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := server.New(server.Options{Workers: o.workers, MaxInFlight: o.maxInFlight})
+	cacheBytes := int64(-1)
+	if o.cacheMB > 0 {
+		cacheBytes = int64(o.cacheMB) << 20
+	}
+	srv := server.New(server.Options{
+		Workers:     o.workers,
+		MaxInFlight: o.maxInFlight,
+		CacheBytes:  cacheBytes,
+	})
 	fmt.Fprintf(os.Stderr, "pegflow serve: listening on %s (workers %d)\n", o.addr, o.workers)
 	return http.ListenAndServe(o.addr, srv)
 }

@@ -12,7 +12,7 @@ import "fmt"
 var OutputPathPackages = []string{
 	"pegflow/internal/stats",
 	"pegflow/internal/scenario",
-	"pegflow/internal/server",
+	"pegflow/internal/server/...",
 	"pegflow/internal/core",
 	"pegflow/internal/ensemble",
 	"pegflow/internal/dax",

@@ -93,7 +93,12 @@ type cachedDAX struct {
 	err  error
 }
 
-var memberDAXCache sync.Map // memberDAXKey -> *cachedDAX
+// hash picks the key's cache shard (see shardedMap in plancache.go).
+func (k memberDAXKey) hash() uint64 {
+	return hashFields([]string{k.name}, []uint64{uint64(k.n), k.seed})
+}
+
+var memberDAXCache shardedMap // memberDAXKey -> *cachedDAX
 
 // memberDAX builds (or serves from cache) the abstract workflow of member
 // i. Cached masters are cloned per use — callers rename and plan them.
@@ -112,7 +117,7 @@ func (e *EnsembleExperiment) memberDAX(i int) (*dax.Workflow, error) {
 		transcriptBytes:  w.TranscriptBytes,
 		alignmentBytes:   w.AlignmentBytes,
 	}
-	v, _ := memberDAXCache.LoadOrStore(key, &cachedDAX{})
+	v, _ := memberDAXCache.LoadOrStore(key.hash(), key, &cachedDAX{})
 	entry := v.(*cachedDAX)
 	entry.once.Do(func() {
 		daxBuilds.Add(1)

@@ -13,7 +13,10 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -22,6 +25,65 @@ import (
 	"pegflow/internal/planner"
 	"pegflow/internal/workflow"
 )
+
+// cacheShards spreads the plan and member-DAX caches across independent
+// sync.Maps, selected by a fingerprint hash of the key, so concurrent
+// mixed-document traffic (the serve tier's steady state) does not contend
+// on one map's internals.
+const cacheShards = 16
+
+// shardedMap is a fixed-size array of sync.Maps; callers route each key
+// to a shard with a hash they compute from the key's identity fields.
+type shardedMap struct {
+	shards [cacheShards]sync.Map
+}
+
+func (m *shardedMap) LoadOrStore(hash uint64, key, val any) (any, bool) {
+	return m.shards[hash%cacheShards].LoadOrStore(key, val)
+}
+
+// Range visits every entry across all shards.
+func (m *shardedMap) Range(f func(k, v any) bool) {
+	for i := range m.shards {
+		done := false
+		m.shards[i].Range(func(k, v any) bool {
+			if !f(k, v) {
+				done = true
+				return false
+			}
+			return true
+		})
+		if done {
+			return
+		}
+	}
+}
+
+// Clear drops every entry from every shard.
+func (m *shardedMap) Clear() {
+	for i := range m.shards {
+		m.shards[i].Range(func(k, _ any) bool {
+			m.shards[i].Delete(k)
+			return true
+		})
+	}
+}
+
+// hashFields is FNV-1a over a mix of strings and integers — the shard
+// selector for cache keys.
+func hashFields(strs []string, ints []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, s := range strs {
+		io.WriteString(h, s)
+		h.Write([]byte{0}) // separator: ("ab","c") != ("a","bc")
+	}
+	for _, v := range ints {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
 
 // planKey is the shape fingerprint of a cacheable plan. It deliberately
 // excludes the workload seed: seeds only change chunk runtimes, which are
@@ -50,7 +112,20 @@ type cachedPlan struct {
 	err      error
 }
 
-var planCache sync.Map // planKey -> *cachedPlan
+// hash picks the key's cache shard from its cheap identity fields; the
+// full struct key still guarantees exactness inside the shard.
+func (k planKey) hash() uint64 {
+	serial := uint64(0)
+	if k.serial {
+		serial = 1
+	}
+	return hashFields(
+		[]string{k.site, k.name},
+		[]uint64{uint64(k.n), serial, uint64(k.sandhillsSlots), uint64(k.osgSlots)},
+	)
+}
+
+var planCache shardedMap // planKey -> *cachedPlan
 
 // Cache telemetry: masters built vs. cache retrievals served. The
 // counters are monotone for the process lifetime (ResetPlanCache drops
@@ -92,12 +167,8 @@ func PlanCacheStats() CacheStats {
 // cache's key includes the seed, so it is the one cache whose entry
 // count grows with distinct seeds.
 func ResetPlanCache() {
-	for _, c := range []*sync.Map{&planCache, &memberDAXCache} {
-		c.Range(func(k, _ any) bool {
-			c.Delete(k)
-			return true
-		})
-	}
+	planCache.Clear()
+	memberDAXCache.Clear()
 }
 
 // effectiveCost mirrors BuildDAX's zero-value defaulting so the cache key
@@ -138,7 +209,7 @@ func (e *Experiment) cachedWorkflowPlan(site string, n int, w workflow.Workload,
 		alignmentBytes:   w.AlignmentBytes,
 		cost:             e.Cost,
 	}
-	v, _ := planCache.LoadOrStore(key, &cachedPlan{})
+	v, _ := planCache.LoadOrStore(key.hash(), key, &cachedPlan{})
 	entry := v.(*cachedPlan)
 	entry.once.Do(func() {
 		planBuilds.Add(1)

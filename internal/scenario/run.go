@@ -15,25 +15,43 @@ import (
 	"pegflow/internal/workflow"
 )
 
+// ResultCache caches finished cell lines by (document fingerprint, cell
+// index). Cells are deterministic functions of the fingerprinted
+// document, so a hit is byte-identical to a fresh simulation; Run skips
+// the gate and the simulation entirely for hits. Implementations must be
+// safe for concurrent use and must treat stored lines as immutable (see
+// internal/server/resultcache).
+type ResultCache interface {
+	Get(fingerprint string, cell int) ([]byte, bool)
+	Put(fingerprint string, cell int, line []byte)
+}
+
 // RunOptions tunes scenario execution.
 type RunOptions struct {
 	// Workers bounds concurrent cells (<= 0 means all CPUs). The output
 	// is byte-identical for any worker count.
 	Workers int
-	// Context, when set, aborts the run between cells once canceled: no
-	// new cells start and Run returns the context's error. The server
-	// passes the request context so a disconnected client stops paying
-	// for simulation it will never read.
+	// Context, when set, aborts the run once canceled: no new cells
+	// start, cells waiting in Gate stop waiting, and Run returns the
+	// context's error. The server passes the request context so a
+	// disconnected client stops paying for simulation it will never
+	// read.
 	Context context.Context
-	// Gate, when set, wraps the execution of every cell. The server
-	// installs a process-wide semaphore here so concurrent requests share
-	// one bounded simulation pool.
-	Gate func(run func())
+	// Gate, when set, wraps the execution of every simulated cell (cache
+	// hits skip it). The server installs a process-wide semaphore here so
+	// concurrent requests share one bounded simulation pool. A gate that
+	// returns an error — the context canceled while waiting for capacity
+	// — aborts the run without executing the cell.
+	Gate func(ctx context.Context, run func()) error
+	// Cache, when set, serves cells addressed by (Fingerprint, index)
+	// without simulating them and stores fresh lines after simulation.
+	Cache ResultCache
 	// OnLine, when set, receives each output line (without the trailing
 	// newline) as soon as it is available, in deterministic order: header
 	// first, then cells in grid order, then the footer. The server
-	// streams these to the client.
-	OnLine func(line []byte)
+	// streams these to the client. An OnLine error aborts the run: no
+	// further lines are delivered or simulated and Run returns the error.
+	OnLine func(line []byte) error
 }
 
 // Header is the first NDJSON line of a scenario run.
@@ -56,12 +74,19 @@ type Footer struct {
 // emitted in order, so the concatenated output is byte-identical for any
 // worker count.
 func (c *Compiled) Run(opts RunOptions) ([][]byte, error) {
-	var mu sync.Mutex
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var mu sync.Mutex // guards lines, pending, next and emitErr
 	var lines [][]byte
+	var emitErr error
 	emit := func(line []byte) {
 		lines = append(lines, line)
-		if opts.OnLine != nil {
-			opts.OnLine(line)
+		if opts.OnLine != nil && emitErr == nil {
+			if err := opts.OnLine(line); err != nil {
+				emitErr = fmt.Errorf("scenario: emitting line: %w", err)
+			}
 		}
 	}
 
@@ -75,27 +100,45 @@ func (c *Compiled) Run(opts RunOptions) ([][]byte, error) {
 		return nil, err
 	}
 	emit(head)
+	if emitErr != nil {
+		return nil, emitErr
+	}
 
 	pending := make(map[int][]byte, len(c.Cells))
 	next := 0
 	err = pool.ForEach(opts.Workers, len(c.Cells), func(i int) error {
-		if opts.Context != nil {
-			if ctxErr := opts.Context.Err(); ctxErr != nil {
-				return fmt.Errorf("scenario: canceled before cell %d: %w", i, ctxErr)
-			}
-		}
-		var line []byte
-		var cellErr error
-		work := func() { line, cellErr = c.cellLine(c.Cells[i]) }
-		if opts.Gate != nil {
-			opts.Gate(work)
-		} else {
-			work()
-		}
-		if cellErr != nil {
-			return fmt.Errorf("scenario: cell %d: %w", i, cellErr)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("scenario: canceled before cell %d: %w", i, ctxErr)
 		}
 		mu.Lock()
+		aborted := emitErr
+		mu.Unlock()
+		if aborted != nil {
+			return aborted
+		}
+		var line []byte
+		if opts.Cache != nil {
+			line, _ = opts.Cache.Get(c.Fingerprint, i)
+		}
+		if line == nil {
+			var cellErr error
+			work := func() { line, cellErr = c.cellLine(c.Cells[i]) }
+			if opts.Gate != nil {
+				if gateErr := opts.Gate(ctx, work); gateErr != nil {
+					return fmt.Errorf("scenario: cell %d: gate: %w", i, gateErr)
+				}
+			} else {
+				work()
+			}
+			if cellErr != nil {
+				return fmt.Errorf("scenario: cell %d: %w", i, cellErr)
+			}
+			if opts.Cache != nil {
+				opts.Cache.Put(c.Fingerprint, i, line)
+			}
+		}
+		mu.Lock()
+		defer mu.Unlock()
 		pending[i] = line
 		for {
 			l, ok := pending[next]
@@ -106,8 +149,8 @@ func (c *Compiled) Run(opts RunOptions) ([][]byte, error) {
 			emit(l)
 			next++
 		}
-		mu.Unlock()
-		return nil
+		// A failed OnLine write (client gone) aborts remaining dispatch.
+		return emitErr
 	})
 	if err != nil {
 		return nil, err
@@ -118,6 +161,9 @@ func (c *Compiled) Run(opts RunOptions) ([][]byte, error) {
 		return nil, err
 	}
 	emit(foot)
+	if emitErr != nil {
+		return nil, emitErr
+	}
 	return lines, nil
 }
 

@@ -5,7 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -89,8 +92,9 @@ func TestRunStreamsInOrder(t *testing.T) {
 	var streamed [][]byte
 	lines, err := c.Run(RunOptions{
 		Workers: 4,
-		OnLine: func(line []byte) {
+		OnLine: func(line []byte) error {
 			streamed = append(streamed, append([]byte(nil), line...))
+			return nil
 		},
 	})
 	if err != nil {
@@ -111,21 +115,160 @@ func TestRunGateWrapsEveryCell(t *testing.T) {
 		t.Fatal(err)
 	}
 	gate := make(chan struct{}, 2)
-	calls := 0
+	var calls atomic.Int32
 	_, err = c.Run(RunOptions{
 		Workers: 4,
-		Gate: func(run func()) {
-			gate <- struct{}{}
+		Gate: func(ctx context.Context, run func()) error {
+			select {
+			case gate <- struct{}{}:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 			defer func() { <-gate }()
-			calls++ // racy increments would be caught under -race via the gate capacity 1 below
+			calls.Add(1)
 			run()
+			return nil
 		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls == 0 {
+	if calls.Load() == 0 {
 		t.Error("gate was never invoked")
+	}
+}
+
+// A gate that refuses capacity (the context canceled while queued)
+// aborts the run without simulating the cell.
+func TestRunGateErrorAbortsRun(t *testing.T) {
+	doc, err := Parse("run.json", []byte(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.Run(RunOptions{
+		Workers: 1,
+		Gate: func(ctx context.Context, run func()) error {
+			return context.Canceled // never calls run: capacity refused
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Run with refusing gate = %v, want context.Canceled", err)
+	}
+	if lines != nil {
+		t.Error("aborted run still returned lines")
+	}
+}
+
+// An OnLine failure (the server's client hung up mid-stream) aborts the
+// run: Run returns the write error instead of simulating and formatting
+// the remaining cells.
+func TestRunOnLineErrorAborts(t *testing.T) {
+	doc, err := Parse("run.json", []byte(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := errors.New("connection reset")
+	delivered := 0
+	_, err = c.Run(RunOptions{
+		Workers: 1,
+		OnLine: func(line []byte) error {
+			delivered++
+			if delivered > 2 { // header + first cell, then the pipe breaks
+				return broken
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, broken) {
+		t.Errorf("Run with failing OnLine = %v, want the write error", err)
+	}
+	if delivered != 3 {
+		t.Errorf("OnLine called %d times after the failure, want exactly 3 (the failing call is the last)", delivered)
+	}
+}
+
+// mapCache is an in-test ResultCache recording traffic.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	hits int
+	puts int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: make(map[string][]byte)} }
+
+func (mc *mapCache) key(fp string, cell int) string { return fp + "/" + strconv.Itoa(cell) }
+
+func (mc *mapCache) Get(fp string, cell int) ([]byte, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	line, ok := mc.m[mc.key(fp, cell)]
+	if ok {
+		mc.hits++
+	}
+	return line, ok
+}
+
+func (mc *mapCache) Put(fp string, cell int, line []byte) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mc.puts++
+	mc.m[mc.key(fp, cell)] = line
+}
+
+// TestRunServesFromCache is the cache acceptance property at the
+// scenario layer: a second run of the same compiled document serves
+// every cell from the cache — the gate (i.e. the simulation pool) is
+// never entered — and the NDJSON bytes equal the fresh run's exactly.
+func TestRunServesFromCache(t *testing.T) {
+	doc, err := Parse("run.json", []byte(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newMapCache()
+	var gated atomic.Int32
+	gate := func(ctx context.Context, run func()) error {
+		gated.Add(1)
+		run()
+		return nil
+	}
+	cold, err := c.Run(RunOptions{Workers: 4, Cache: cache, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.puts != len(c.Cells) {
+		t.Fatalf("cold run stored %d lines, want %d", cache.puts, len(c.Cells))
+	}
+	coldGated := gated.Load()
+	if coldGated != int32(len(c.Cells)) {
+		t.Fatalf("cold run gated %d cells, want %d", coldGated, len(c.Cells))
+	}
+
+	warm, err := c.Run(RunOptions{Workers: 4, Cache: cache, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.Load() != coldGated {
+		t.Errorf("warm run entered the gate %d times, want 0 (cache hits skip simulation)", gated.Load()-coldGated)
+	}
+	if cache.hits != len(c.Cells) {
+		t.Errorf("warm run hit the cache %d times, want %d", cache.hits, len(c.Cells))
+	}
+	if !bytes.Equal(joinLines(cold), joinLines(warm)) {
+		t.Errorf("cached output differs from fresh output:\n--- fresh ---\n%s--- cached ---\n%s",
+			joinLines(cold), joinLines(warm))
 	}
 }
 

@@ -1,0 +1,15 @@
+// Package resultcache is the content-addressed cell-result cache behind
+// the serve tier. Scenario documents are SHA-256 fingerprinted and their
+// cell grids are deterministic, so a finished NDJSON cell line is fully
+// determined by (document fingerprint, cell index): the cache stores
+// exactly that mapping, bounded by total bytes with least-recently-used
+// eviction, and a hit lets the server (or any scenario.Run caller) skip
+// planning and simulation entirely while emitting byte-identical output.
+//
+// The cache is sharded: the (fingerprint, cell) key is hashed across a
+// fixed set of independently locked shards, so concurrent requests for
+// hot documents do not contend on one mutex. Each shard owns 1/Nth of
+// the byte budget and runs its own LRU list; hit/miss/eviction/byte
+// counters aggregate across shards and are republished by the serve
+// tier at /v1/healthz.
+package resultcache

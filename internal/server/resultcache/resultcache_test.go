@@ -1,0 +1,137 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func fp(i int) string {
+	return fmt.Sprintf("%064d", i)
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(fp(1), 0); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	line := []byte(`{"cell":0,"makespan_s":12.5}`)
+	c.Put(fp(1), 0, line)
+	got, ok := c.Get(fp(1), 0)
+	if !ok || !bytes.Equal(got, line) {
+		t.Fatalf("Get = %q, %v; want the stored line", got, ok)
+	}
+	if _, ok := c.Get(fp(1), 1); ok {
+		t.Error("hit on a different cell of the same document")
+	}
+	if _, ok := c.Get(fp(2), 0); ok {
+		t.Error("hit on a different fingerprint")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Entries != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 3 misses / 1 entry", st)
+	}
+	if st.Bytes != entrySize(key{fingerprint: fp(1), cell: 0}, line) {
+		t.Errorf("bytes = %d, want the single entry's charge", st.Bytes)
+	}
+}
+
+// Eviction respects the byte bound and removes the least recently used
+// entry first. A single shard pins the order.
+func TestEvictionIsLRUWithinByteBound(t *testing.T) {
+	line := bytes.Repeat([]byte("x"), 100)
+	per := entrySize(key{fingerprint: fp(0), cell: 0}, line)
+	c := newWithShards(3*per, 1)
+
+	for i := 0; i < 3; i++ {
+		c.Put(fp(i), 0, line)
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 0 || st.Bytes != 3*per {
+		t.Fatalf("after 3 inserts at a 3-entry bound: %+v", st)
+	}
+
+	// Touch fp(0) so fp(1) becomes the LRU victim.
+	if _, ok := c.Get(fp(0), 0); !ok {
+		t.Fatal("fp(0) missing before eviction")
+	}
+	c.Put(fp(3), 0, line)
+
+	if _, ok := c.Get(fp(1), 0); ok {
+		t.Error("LRU entry fp(1) survived eviction")
+	}
+	for _, want := range []int{0, 2, 3} {
+		if _, ok := c.Get(fp(want), 0); !ok {
+			t.Errorf("recently used entry fp(%d) was evicted", want)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes > c.maxBytes {
+		t.Errorf("after eviction: %+v", st)
+	}
+}
+
+// A line larger than a shard's budget is refused rather than evicting
+// the whole shard for an entry that still would not fit.
+func TestOversizedLineNotStored(t *testing.T) {
+	c := newWithShards(256, 1)
+	c.Put(fp(1), 0, bytes.Repeat([]byte("x"), 4096))
+	if _, ok := c.Get(fp(1), 0); ok {
+		t.Error("oversized line was stored")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after refused insert: %+v", st)
+	}
+}
+
+// Duplicate Puts (concurrent cold requests racing on the same cell)
+// keep one entry and do not inflate the byte accounting.
+func TestDuplicatePutKeepsOneEntry(t *testing.T) {
+	c := newWithShards(1<<20, 1)
+	line := []byte(`{"cell":7}`)
+	c.Put(fp(1), 7, line)
+	c.Put(fp(1), 7, line)
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != entrySize(key{fingerprint: fp(1), cell: 7}, line) {
+		t.Errorf("duplicate Put changed occupancy: %+v", st)
+	}
+}
+
+// TestConcurrentMixedFingerprints hammers the sharded cache from many
+// goroutines with overlapping documents; run under -race (the CI race
+// stress covers this package). Every hit must return the exact bytes
+// stored for its key.
+func TestConcurrentMixedFingerprints(t *testing.T) {
+	c := New(64 << 10) // small bound: constant eviction pressure
+	const goroutines = 16
+	const docs = 8
+	const cells = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				doc := (g + iter) % docs
+				cell := iter % cells
+				want := []byte(fmt.Sprintf(`{"doc":%d,"cell":%d}`, doc, cell))
+				if got, ok := c.Get(fp(doc), cell); ok {
+					if !bytes.Equal(got, want) {
+						t.Errorf("doc %d cell %d: got %q, want %q", doc, cell, got, want)
+						return
+					}
+				} else {
+					c.Put(fp(doc), cell, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Errorf("cache exceeded its byte bound: %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("hammer produced no cache traffic: %+v", st)
+	}
+}

@@ -1,18 +1,26 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 
 	"pegflow/internal/core"
 	"pegflow/internal/scenario"
+	"pegflow/internal/server/resultcache"
 )
 
 // MaxScenarioBytes bounds a POSTed scenario document.
 const MaxScenarioBytes = 1 << 20
+
+// DefaultCacheBytes is the result-cache byte budget when Options leaves
+// CacheBytes zero.
+const DefaultCacheBytes = 64 << 20
 
 // Options configures the service.
 type Options struct {
@@ -22,6 +30,9 @@ type Options struct {
 	// MaxInFlight caps concurrently running scenario requests; further
 	// POSTs get 429. 0 means 2×Workers.
 	MaxInFlight int
+	// CacheBytes bounds the content-addressed cell-result cache: 0 means
+	// DefaultCacheBytes, negative disables the cache entirely.
+	CacheBytes int64
 }
 
 // Server is the scenario HTTP service. Create one with New.
@@ -30,6 +41,14 @@ type Server struct {
 	mux      *http.ServeMux
 	cellGate chan struct{}
 	requests chan struct{}
+	results  *resultcache.Cache
+	aborted  atomic.Uint64 // NDJSON streams cut short by client disconnect
+
+	// Test seams (nil in production): hookGateWait fires when a cell is
+	// about to wait for gate capacity, hookCellStart after it acquired
+	// capacity and before it simulates.
+	hookGateWait  func()
+	hookCellStart func()
 }
 
 // New builds the service and its routes.
@@ -40,11 +59,17 @@ func New(opts Options) *Server {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 2 * opts.Workers
 	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
 	s := &Server{
 		opts:     opts,
 		mux:      http.NewServeMux(),
 		cellGate: make(chan struct{}, opts.Workers),
 		requests: make(chan struct{}, opts.MaxInFlight),
+	}
+	if opts.CacheBytes > 0 {
+		s.results = resultcache.New(opts.CacheBytes)
 	}
 	s.mux.HandleFunc("POST /v1/scenarios/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/scenarios/check", s.handleCheck)
@@ -55,74 +80,127 @@ func New(opts Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// readScenario reads, parses and compiles the request body.
-func readScenario(w http.ResponseWriter, r *http.Request) (*scenario.Compiled, bool) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxScenarioBytes+1))
+// readScenario reads, parses and compiles the request body. The body is
+// capped with http.MaxBytesReader, so an oversized upload is cut off at
+// the transport (413, connection close) instead of being drained.
+func (s *Server) readScenario(w http.ResponseWriter, r *http.Request) (*scenario.Compiled, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxScenarioBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
-		return nil, false
-	}
-	if len(body) > MaxScenarioBytes {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("scenario document exceeds %d bytes", MaxScenarioBytes))
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("scenario document exceeds %d bytes", MaxScenarioBytes))
+		} else {
+			s.httpError(w, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
+		}
 		return nil, false
 	}
 	doc, err := scenario.Parse("request", body)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		s.httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return nil, false
 	}
 	c, err := scenario.Compile(doc)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		s.httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return nil, false
 	}
 	return c, true
 }
 
+// errClientWrite marks OnLine failures: the client stopped reading, so
+// the stream is aborted rather than reported in-band.
+var errClientWrite = errors.New("client write failed")
+
 // handleRun streams NDJSON cell results for the POSTed scenario.
+//
+// Lifecycle: the body is read and validated BEFORE an in-flight slot is
+// taken, so slow or invalid uploads cannot pin 429 capacity that
+// admitted runs need. Only a validated scenario competes for a slot.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.readScenario(w, r)
+	if !ok {
+		return
+	}
 	select {
 	case s.requests <- struct{}{}:
 		defer func() { <-s.requests }()
 	default:
-		httpError(w, http.StatusTooManyRequests,
+		s.httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("%d scenario runs already in flight", s.opts.MaxInFlight))
-		return
-	}
-	c, ok := readScenario(w, r)
-	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Scenario-Fingerprint", c.Fingerprint)
 	flusher, _ := w.(http.Flusher)
-	_, err := c.Run(scenario.RunOptions{
+	opts := scenario.RunOptions{
 		Workers: s.opts.Workers,
 		Context: r.Context(),
 		Gate:    s.gateCell,
-		OnLine: func(line []byte) {
-			w.Write(line)
-			io.WriteString(w, "\n")
+		OnLine: func(line []byte) error {
+			if _, err := w.Write(line); err != nil {
+				return fmt.Errorf("%w: %v", errClientWrite, err)
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return fmt.Errorf("%w: %v", errClientWrite, err)
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
+			return nil
 		},
-	})
+	}
+	if s.results != nil {
+		opts.Cache = s.results
+	}
+	_, err := c.Run(opts)
 	if err != nil {
+		if errors.Is(err, errClientWrite) || r.Context().Err() != nil {
+			// The client is gone: nothing left to write to, and the run
+			// stopped simulating for it. Count the cut stream.
+			s.aborted.Add(1)
+			return
+		}
 		// The header line is already out; report the failure in-band as
 		// the final NDJSON line.
 		msg, _ := json.Marshal(map[string]string{"error": err.Error()})
-		w.Write(msg)
+		if _, werr := w.Write(msg); werr != nil {
+			s.aborted.Add(1)
+			return
+		}
 		io.WriteString(w, "\n")
 	}
 }
 
-// gateCell acquires a token from the process-wide cell pool.
-func (s *Server) gateCell(run func()) {
-	s.cellGate <- struct{}{}
+// gateCell acquires a token from the process-wide cell pool, or gives up
+// when the request's context is canceled: a disconnected client's queued
+// cells must not consume capacity that live requests are waiting for.
+func (s *Server) gateCell(ctx context.Context, run func()) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.hookGateWait != nil {
+		s.hookGateWait()
+	}
+	select {
+	case s.cellGate <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	defer func() { <-s.cellGate }()
+	// The select above picks randomly when both channels are ready:
+	// re-check so a canceled request never simulates on a token it raced
+	// for.
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+	}
+	if s.hookCellStart != nil {
+		s.hookCellStart()
+	}
 	run()
+	return nil
 }
 
 // CheckResponse is the body of POST /v1/scenarios/check.
@@ -136,9 +214,15 @@ type CheckResponse struct {
 
 // handleCheck validates and fingerprints a scenario without running it.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxScenarioBytes+1))
-	if err != nil || len(body) > MaxScenarioBytes {
-		httpError(w, http.StatusBadRequest, "unreadable or oversized scenario document")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxScenarioBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("scenario document exceeds %d bytes", MaxScenarioBytes))
+		} else {
+			s.httpError(w, http.StatusBadRequest, "unreadable scenario document")
+		}
 		return
 	}
 	resp := CheckResponse{}
@@ -152,7 +236,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		resp.Fingerprint = c.Fingerprint
 		resp.Cells = len(c.Cells)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // HealthResponse is the body of GET /v1/healthz.
@@ -164,25 +248,44 @@ type HealthResponse struct {
 	// Cache reports the process-wide plan/member-DAX cache counters; a
 	// warm service shows retrievals growing while builds stay flat.
 	Cache core.CacheStats `json:"cache"`
+	// Results reports the content-addressed cell-result cache: hits
+	// skipped planning AND simulation entirely. Absent when the cache is
+	// disabled.
+	Results *resultcache.Stats `json:"results,omitempty"`
+	// AbortedStreams counts responses cut short because the client
+	// disconnected before reading them — NDJSON streams abandoned
+	// mid-run and JSON bodies that failed to write.
+	AbortedStreams uint64 `json:"aborted_streams"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
-		OK:          true,
-		Workers:     s.opts.Workers,
-		MaxInFlight: s.opts.MaxInFlight,
-		Cache:       core.PlanCacheStats(),
-	})
+	resp := HealthResponse{
+		OK:             true,
+		Workers:        s.opts.Workers,
+		MaxInFlight:    s.opts.MaxInFlight,
+		Cache:          core.PlanCacheStats(),
+		AbortedStreams: s.aborted.Load(),
+	}
+	if s.results != nil {
+		st := s.results.Stats()
+		resp.Results = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes a JSON response body. A write failure means the
+// client hung up before reading its response; it is counted with the
+// aborted streams instead of being silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.aborted.Add(1)
+	}
 }
 
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func (s *Server) httpError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]string{"error": msg})
 }

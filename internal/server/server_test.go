@@ -2,12 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,6 +35,20 @@ const testScenario = `{
   "outputs": {"fields": ["makespan_s", "retries", "evictions", "success"], "percentiles": [50, 99]}
 }`
 
+// smallScenario is a cheap 2-cell document for lifecycle tests.
+const smallScenario = `{
+  "version": 1,
+  "name": "small",
+  "sites": [{"preset": "sandhills", "slots": 16}],
+  "site_sets": [["sandhills"]],
+  "workload": {
+    "params": {"num_clusters": 100, "max_cluster_size": 40, "size_exponent": 0.5, "mean_read_len": 800},
+    "n": [2, 4],
+    "seeds": [7]
+  },
+  "outputs": {"fields": ["makespan_s", "success"]}
+}`
+
 func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
@@ -44,6 +61,20 @@ func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
 		t.Fatal(err)
 	}
 	return resp.StatusCode, b
+}
+
+func health(t *testing.T, ts *httptest.Server) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
 }
 
 // postWave fires n concurrent scenario POSTs and returns the bodies.
@@ -84,8 +115,9 @@ func postWave(t *testing.T, ts *httptest.Server, n int) [][]byte {
 
 // TestConcurrentPostsAndWarmCache is the acceptance scenario: ≥8
 // concurrent scenario POSTs produce identical per-cell results, and a
-// repeat submission wave runs entirely warm — zero new master plans, only
-// cache retrievals — and no slower than the cold wave.
+// repeat submission wave is served entirely from the content-addressed
+// result cache — zero plan-cache traffic, i.e. zero new simulations —
+// with NDJSON byte-identical to the cold wave.
 func TestConcurrentPostsAndWarmCache(t *testing.T) {
 	core.ResetPlanCache()
 	ts := httptest.NewServer(New(Options{Workers: 4, MaxInFlight: 32}))
@@ -114,6 +146,7 @@ func TestConcurrentPostsAndWarmCache(t *testing.T) {
 	warm := postWave(t, ts, 8)
 	warmElapsed := time.Since(warmStart)
 	afterWarm := core.PlanCacheStats()
+	h := health(t, ts)
 
 	if !bytes.Equal(warm[0], cold[0]) {
 		t.Errorf("warm response differs from cold response")
@@ -123,14 +156,26 @@ func TestConcurrentPostsAndWarmCache(t *testing.T) {
 			t.Fatalf("warm responses differ between clients")
 		}
 	}
+	// Zero new simulations: every simulation on this path clones a plan
+	// from the keyed cache, so an untouched plan cache across the repeat
+	// wave proves no cell was recomputed.
 	if builds := afterWarm.PlanBuilds - afterCold.PlanBuilds; builds != 0 {
-		t.Errorf("repeat submissions built %d new plan masters, want 0 (warm cache)", builds)
+		t.Errorf("repeat submissions built %d new plan masters, want 0", builds)
 	}
-	if served := afterWarm.PlanRetrievals - afterCold.PlanRetrievals; served != 8*4 {
-		t.Errorf("repeat submissions served %d cached plans, want 32", served)
+	if served := afterWarm.PlanRetrievals - afterCold.PlanRetrievals; served != 0 {
+		t.Errorf("repeat submissions retrieved %d plans, want 0 (result cache should bypass simulation)", served)
 	}
-	// The warm wave does strictly less work (no DAX construction, no
-	// catalog resolution, no planning); allow generous scheduler noise.
+	if h.Results == nil {
+		t.Fatal("healthz reports no result cache")
+	}
+	if h.Results.Hits < 8*4 {
+		t.Errorf("result cache hits = %d, want at least 32 (8 repeat requests × 4 cells)", h.Results.Hits)
+	}
+	if h.Results.Entries != 4 || h.Results.Bytes <= 0 {
+		t.Errorf("result cache occupancy: %+v", h.Results)
+	}
+	// The warm wave does strictly less work (no planning, no
+	// simulation, no row formatting); allow generous scheduler noise.
 	if warmElapsed > coldElapsed*3/2 {
 		t.Errorf("no warm-cache speedup: cold wave %v, warm wave %v", coldElapsed, warmElapsed)
 	}
@@ -138,38 +183,275 @@ func TestConcurrentPostsAndWarmCache(t *testing.T) {
 		float64(coldElapsed)/float64(warmElapsed))
 }
 
-// TestRequestThrottle pins the in-flight cap: a request whose body is
-// still streaming holds its slot, so the next POST is rejected with 429.
+// With the result cache disabled, repeat traffic still runs warm at the
+// plan-cache layer: zero new masters, one retrieval per simulated cell.
+func TestRepeatWaveWarmPlanCacheWithoutResultCache(t *testing.T) {
+	core.ResetPlanCache()
+	ts := httptest.NewServer(New(Options{Workers: 4, MaxInFlight: 32, CacheBytes: -1}))
+	defer ts.Close()
+
+	cold := postWave(t, ts, 4)
+	afterCold := core.PlanCacheStats()
+	warm := postWave(t, ts, 4)
+	afterWarm := core.PlanCacheStats()
+
+	if !bytes.Equal(warm[0], cold[0]) {
+		t.Errorf("warm response differs from cold response")
+	}
+	if builds := afterWarm.PlanBuilds - afterCold.PlanBuilds; builds != 0 {
+		t.Errorf("repeat submissions built %d new plan masters, want 0 (warm cache)", builds)
+	}
+	if served := afterWarm.PlanRetrievals - afterCold.PlanRetrievals; served != 4*4 {
+		t.Errorf("repeat submissions served %d cached plans, want 16", served)
+	}
+	if h := health(t, ts); h.Results != nil {
+		t.Errorf("healthz reports a result cache on a cache-disabled server: %+v", h.Results)
+	}
+}
+
+// TestRequestThrottle pins the in-flight cap at its post-fix meaning: a
+// request that is admitted and RUNNING holds its slot, so the next POST
+// is rejected with 429 — deterministically, via the cell-start hook.
 func TestRequestThrottle(t *testing.T) {
-	ts := httptest.NewServer(New(Options{Workers: 1, MaxInFlight: 1}))
+	srv := New(Options{Workers: 1, MaxInFlight: 1, CacheBytes: -1})
+	hold := make(chan struct{})
+	started := make(chan struct{}, 16)
+	srv.hookCellStart = func() {
+		started <- struct{}{}
+		<-hold
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		code, body := postQuiet(ts, "/v1/scenarios/run", smallScenario)
+		if code != http.StatusOK {
+			done <- fmt.Errorf("held request: %d %s", code, body)
+			return
+		}
+		done <- nil
+	}()
+	<-started // the run holds the only slot and is simulating
+
+	code, body := post(t, ts, "/v1/scenarios/run", smallScenario)
+	if code != http.StatusTooManyRequests {
+		t.Errorf("second POST = %d %s, want 429 while a run holds the slot", code, body)
+	} else if !bytes.Contains(body, []byte("in flight")) {
+		t.Errorf("429 body = %s", body)
+	}
+
+	close(hold)
+	for range startedDrain(started) {
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startedDrain empties a signal channel without blocking.
+func startedDrain(ch chan struct{}) []struct{} {
+	var out []struct{}
+	for {
+		select {
+		case v := <-ch:
+			out = append(out, v)
+		default:
+			return out
+		}
+	}
+}
+
+// postQuiet is post without the testing.T (for goroutines).
+func postQuiet(ts *httptest.Server, path, body string) (int, []byte) {
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, []byte(err.Error())
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// A slow upload must NOT pin 429 capacity: the in-flight slot is taken
+// only after the body is read and validated. Under the old admit-first
+// order this test deadlocks into a 429.
+func TestSlowUploadDoesNotHoldInFlightSlot(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 1, MaxInFlight: 1, CacheBytes: -1}))
 	defer ts.Close()
 
 	pr, pw := io.Pipe()
-	done := make(chan struct{})
+	slowDone := make(chan struct{})
 	go func() {
-		defer close(done)
+		defer close(slowDone)
 		resp, err := http.Post(ts.URL+"/v1/scenarios/run", "application/json", pr)
 		if err == nil {
 			resp.Body.Close()
 		}
 	}()
-	// The handler acquires its slot, then blocks reading the body.
+	// Trickle a few bytes so the handler is inside its body read.
+	if _, err := pw.Write([]byte("{")); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := post(t, ts, "/v1/scenarios/run", smallScenario)
+	if code != http.StatusOK {
+		t.Errorf("live POST while another client uploads slowly = %d %s, want 200", code, body)
+	}
+	if !bytes.Contains(body, []byte(`"done":true`)) {
+		t.Errorf("live POST response missing footer: %s", body)
+	}
+
+	pw.CloseWithError(io.ErrUnexpectedEOF)
+	<-slowDone
+}
+
+// An oversized upload is rejected with 413 via http.MaxBytesReader.
+func TestOversizedUploadRejected(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Workers: 1, CacheBytes: -1}))
+	defer ts.Close()
+	big := strings.Repeat("x", MaxScenarioBytes+16)
+	for _, path := range []string{"/v1/scenarios/run", "/v1/scenarios/check"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			// MaxBytesReader may cut the connection before the client
+			// finishes writing; either a 413 or a transport error is a
+			// correct rejection.
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized upload = %d %s, want 413", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestCanceledRequestFreesCellGate is the regression test for the
+// request-lifecycle bug: a canceled request's queued cells must stop
+// waiting for process-wide cell-gate tokens, leaving the capacity to
+// concurrent live requests. Under the old code the canceled request's
+// queued cell acquires the freed token and simulates anyway.
+func TestCanceledRequestFreesCellGate(t *testing.T) {
+	srv := New(Options{Workers: 1, MaxInFlight: 8, CacheBytes: -1})
+	hold := make(chan struct{})
+	var cellsRun atomic.Int32
+	started := make(chan struct{}, 64)
+	gateWaits := make(chan struct{}, 64)
+	srv.hookCellStart = func() {
+		cellsRun.Add(1)
+		started <- struct{}{}
+		<-hold
+	}
+	srv.hookGateWait = func() { gateWaits <- struct{}{} }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Live request L: its first cell acquires the only token and blocks
+	// in the hook.
+	liveDone := make(chan error, 1)
+	go func() {
+		code, body := postQuiet(ts, "/v1/scenarios/run", smallScenario)
+		if code != http.StatusOK || !bytes.Contains(body, []byte(`"done":true`)) {
+			liveDone <- fmt.Errorf("live request: %d %s", code, body)
+			return
+		}
+		liveDone <- nil
+	}()
+	<-gateWaits // L cell 0 about to acquire
+	<-started   // L cell 0 holds the token
+
+	// Canceled request C: its first cell queues on the gate, then the
+	// client disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	cReq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/scenarios/run",
+		strings.NewReader(testScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cReq.Header.Set("Content-Type", "application/json")
+	cDone := make(chan struct{})
+	go func() {
+		defer close(cDone)
+		resp, err := http.DefaultClient.Do(cReq)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-gateWaits // C cell 0 queued on the gate
+	cancel()
+	<-cDone
+
+	// Wait until the server has observed the disconnect and aborted C's
+	// stream — before any token is freed.
+	h0 := health(t, ts)
+	deadline := time.Now().Add(5 * time.Second)
+	for h0.AbortedStreams == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the aborted stream")
+		}
+		time.Sleep(5 * time.Millisecond)
+		h0 = health(t, ts)
+	}
+
+	// Release the token. L must finish; C must not have simulated a
+	// single cell.
+	close(hold)
+	if err := <-liveDone; err != nil {
+		t.Fatal(err)
+	}
+	// smallScenario has 2 cells; the canceled request contributes none.
+	if got := cellsRun.Load(); got != 2 {
+		t.Errorf("cells simulated = %d, want 2 (canceled request must not consume gate tokens)", got)
+	}
+}
+
+// A client that disconnects mid-stream aborts the response and is
+// counted in healthz.
+func TestClientDisconnectCountsAbortedStream(t *testing.T) {
+	srv := New(Options{Workers: 1, MaxInFlight: 4, CacheBytes: -1})
+	hold := make(chan struct{})
+	started := make(chan struct{}, 16)
+	srv.hookCellStart = func() {
+		started <- struct{}{}
+		<-hold
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	before := health(t, ts).AbortedStreams
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/scenarios/run",
+		strings.NewReader(smallScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started // the run is mid-stream
+	cancel()
+	<-done
+	close(hold)
+
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		code, body := post(t, ts, "/v1/scenarios/run", testScenario)
-		if code == http.StatusTooManyRequests {
-			if !bytes.Contains(body, []byte("in flight")) {
-				t.Errorf("429 body = %s", body)
-			}
+		if h := health(t, ts); h.AbortedStreams > before {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("never saw 429 while a request held the only slot")
+			t.Fatal("aborted stream never counted in healthz")
 		}
-		time.Sleep(10 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
 	}
-	pw.CloseWithError(io.ErrUnexpectedEOF)
-	<-done
 }
 
 func TestCheckEndpoint(t *testing.T) {
@@ -215,16 +497,11 @@ func TestInvalidScenarioRejectedOnRun(t *testing.T) {
 func TestHealth(t *testing.T) {
 	ts := httptest.NewServer(New(Options{Workers: 3, MaxInFlight: 7}))
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/v1/healthz")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var h HealthResponse
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		t.Fatal(err)
-	}
+	h := health(t, ts)
 	if !h.OK || h.Workers != 3 || h.MaxInFlight != 7 {
 		t.Errorf("health: %+v", h)
+	}
+	if h.Results == nil || h.Results.MaxBytes != DefaultCacheBytes {
+		t.Errorf("health result-cache stats: %+v", h.Results)
 	}
 }
