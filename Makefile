@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race bench bench-serve fmt vet clean
+.PHONY: all build lint lint-fixtures test race bench bench-serve fmt vet clean
 
 all: build lint test
 
@@ -12,12 +12,19 @@ build:
 lint:
 	$(GO) run ./cmd/pegflow-lint ./...
 
+# Just the analyzer fixture tests: the fast loop when hacking on an
+# analyzer (each Test*Fixture matches findings 1:1 against // want).
+lint-fixtures:
+	$(GO) test -run 'Fixture' ./internal/analysis/...
+
 test:
 	$(GO) test -vet=all ./...
 
-# The stress variant CI runs on the concurrency-heavy packages.
+# The stress variant CI runs on the concurrency-heavy packages. The
+# timeout turns a deadlock (the bug class lockhold/pairpath exist for)
+# into a fast stack-dumped failure instead of a hung job.
 race:
-	$(GO) test -race -count=2 ./internal/server/... ./internal/scenario
+	$(GO) test -race -count=2 -timeout 120s ./internal/server/... ./internal/scenario
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/sim/des ./internal/engine ./internal/fifo

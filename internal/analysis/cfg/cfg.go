@@ -1,0 +1,427 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is a basic block: a maximal straight-line run of nodes with
+// edges only at the end. Nodes holds simple statements whole and the
+// evaluated components of composite statements (see package doc).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+//
+// Entry is where execution starts. Exit is the unique normal-return
+// block: every return statement and the fall-off-the-end path edge
+// into it. Panic collects abnormal exits — panic calls, os.Exit,
+// log.Fatal* and runtime.Goexit — so analyses of "every non-panic
+// path" can simply ignore it. Exit and Panic carry no nodes and no
+// successors.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	Panic  *Block
+}
+
+// Build constructs the graph for one function body. The body is not
+// mutated. Function literals inside the body are treated as opaque
+// values: their inner statements contribute nothing to this graph.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	g.Panic = b.newBlock()
+	b.cur = g.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// builder threads the "current block" through a recursive statement
+// walk. cur == nil means the walk is past a terminator (return, goto,
+// panic) and subsequent code is unreachable until a label or join
+// re-anchors it.
+type builder struct {
+	g    *Graph
+	cur  *Block
+	ctrl []ctrlEntry
+	// labels maps label names to their blocks; created lazily on first
+	// reference so forward gotos work.
+	labels map[string]*Block
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// "break L" and "continue L" can find their targets.
+	pendingLabel string
+	// fall is the block that ended with a fallthrough, to be wired to
+	// the next case clause by the enclosing switch builder.
+	fall *Block
+}
+
+// ctrlEntry is one enclosing breakable construct (loop, switch or
+// select); loops additionally accept continue.
+type ctrlEntry struct {
+	label      string
+	isLoop     bool
+	breakTo    *Block
+	continueTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// block returns the current block, creating a fresh (unreachable) one
+// if the walk is past a terminator, so that dead code still parses into
+// blocks instead of panicking the builder.
+func (b *builder) block() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.block()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) breakTarget(label string) *Block {
+	for i := len(b.ctrl) - 1; i >= 0; i-- {
+		c := b.ctrl[i]
+		if label == "" || c.label == label {
+			return c.breakTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) continueTarget(label string) *Block {
+	for i := len(b.ctrl) - 1; i >= 0; i-- {
+		c := b.ctrl[i]
+		if !c.isLoop {
+			continue
+		}
+		if label == "" || c.label == label {
+			return c.continueTo
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.breakTarget(labelName(s)); t != nil {
+				b.edge(b.block(), t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if t := b.continueTarget(labelName(s)); t != nil {
+				b.edge(b.block(), t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			b.edge(b.block(), b.labelBlock(s.Label.Name))
+			b.cur = nil
+		case token.FALLTHROUGH:
+			b.fall = b.block()
+			b.cur = nil
+		}
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			b.add(s)
+			b.edge(b.cur, b.g.Panic)
+			b.cur = nil
+			return
+		}
+		b.add(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	default:
+		// Simple statements: assign, send, inc/dec, decl, defer, go,
+		// empty. Stored whole.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.block()
+	after := b.newBlock()
+	then := b.newBlock()
+	b.edge(head, then)
+	if s.Else != nil {
+		elseB := b.newBlock()
+		b.edge(head, elseB)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(head, after)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.block(), head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	contTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		contTo = post
+	}
+	b.ctrl = append(b.ctrl, ctrlEntry{label: label, isLoop: true, breakTo: after, continueTo: contTo})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, contTo)
+	b.ctrl = b.ctrl[:len(b.ctrl)-1]
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	}
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s.X)
+	head := b.newBlock()
+	b.edge(b.block(), head)
+	b.cur = head
+	if s.Key != nil {
+		b.add(s.Key)
+	}
+	if s.Value != nil {
+		b.add(s.Value)
+	}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.ctrl = append(b.ctrl, ctrlEntry{label: label, isLoop: true, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, head)
+	b.ctrl = b.ctrl[:len(b.ctrl)-1]
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	head := b.block()
+	after := b.newBlock()
+	b.caseClauses(s.Body.List, head, after, label, func(cc *ast.CaseClause) {
+		for _, e := range cc.List {
+			b.add(e)
+		}
+	})
+	b.cur = after
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	// The guard (`v := x.(type)` or `x.(type)`) is stored whole; its
+	// type-assert operand is evaluated once at the head.
+	b.add(s.Assign)
+	head := b.block()
+	after := b.newBlock()
+	b.caseClauses(s.Body.List, head, after, label, func(*ast.CaseClause) {})
+	b.cur = after
+}
+
+// caseClauses wires the shared case structure of switch and type
+// switch: head fans out to each clause, clauses without fallthrough
+// join at after, and a missing default adds a head→after edge.
+func (b *builder) caseClauses(list []ast.Stmt, head, after *Block, label string, addExprs func(*ast.CaseClause)) {
+	blocks := make([]*Block, len(list))
+	hasDefault := false
+	for i, c := range list {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if c.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.ctrl = append(b.ctrl, ctrlEntry{label: label, breakTo: after})
+	for i, c := range list {
+		cc := c.(*ast.CaseClause)
+		b.cur = blocks[i]
+		addExprs(cc)
+		b.stmts(cc.Body)
+		if b.fall != nil {
+			if i+1 < len(blocks) {
+				b.edge(b.fall, blocks[i+1])
+			}
+			b.fall = nil
+		}
+		b.edge(b.cur, after)
+	}
+	b.ctrl = b.ctrl[:len(b.ctrl)-1]
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.block()
+	after := b.newBlock()
+	b.ctrl = append(b.ctrl, ctrlEntry{label: label, breakTo: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.ctrl = b.ctrl[:len(b.ctrl)-1]
+	b.cur = after
+}
+
+func labelName(s *ast.BranchStmt) string {
+	if s.Label != nil {
+		return s.Label.Name
+	}
+	return ""
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: panic(...), os.Exit, log.Fatal*, log.Panic*, runtime.Goexit.
+// Detection is syntactic — a shadowed `panic` identifier would be
+// misclassified — which is acceptable for lint-grade analysis.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			return hasPrefix(fun.Sel.Name, "Fatal") || hasPrefix(fun.Sel.Name, "Panic")
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

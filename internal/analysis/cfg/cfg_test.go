@@ -1,0 +1,475 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// parseBody wraps src in a function and returns its body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// events runs an event-set dataflow over the graph: every `name()` call
+// statement is an event. With must=true the merge is set intersection
+// ("on every path"); otherwise union ("on some path"). It returns the
+// sorted events reaching Exit, or nil with ok=false if Exit is
+// unreachable.
+func events(g *Graph, must bool) (names []string, ok bool) {
+	type fact = map[string]bool
+	merge := func(a, b fact) fact {
+		out := fact{}
+		for k := range a {
+			if !must || b[k] {
+				out[k] = true
+			}
+		}
+		if !must {
+			for k := range b {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	equal := func(a, b fact) bool { return reflect.DeepEqual(a, b) }
+	transfer := func(blk *Block, in fact) fact {
+		out := in
+		add := func(name string) {
+			next := fact{}
+			for k := range out {
+				next[k] = true
+			}
+			next[name] = true
+			out = next
+		}
+		for _, n := range blk.Nodes {
+			es, isExpr := n.(*ast.ExprStmt)
+			if !isExpr {
+				continue
+			}
+			call, isCall := es.X.(*ast.CallExpr)
+			if !isCall {
+				continue
+			}
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+				add(id.Name)
+			}
+		}
+		return out
+	}
+	in := Forward(g, fact{}, merge, equal, transfer)
+	f, reached := in[g.Exit]
+	if !reached {
+		return nil, false
+	}
+	for k := range f {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names, true
+}
+
+func checkEvents(t *testing.T, src string, wantMust, wantMay []string) {
+	t.Helper()
+	g := Build(parseBody(t, src))
+	for _, c := range []struct {
+		must bool
+		want []string
+	}{{true, wantMust}, {false, wantMay}} {
+		got, ok := events(g, c.must)
+		if !ok {
+			t.Fatalf("must=%v: Exit unreachable\nsrc:\n%s", c.must, src)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("must=%v: events = %v, want %v\nsrc:\n%s", c.must, got, c.want, src)
+		}
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	checkEvents(t, `
+a()
+if cond {
+	b()
+} else {
+	c()
+}
+d()`,
+		[]string{"a", "d"},
+		[]string{"a", "b", "c", "d"})
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	checkEvents(t, `
+if cond {
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"b", "d"})
+}
+
+func TestElseIfChain(t *testing.T) {
+	checkEvents(t, `
+if c1 {
+	a()
+} else if c2 {
+	b()
+} else {
+	c()
+}
+d()`,
+		[]string{"d"},
+		[]string{"a", "b", "c", "d"})
+}
+
+func TestForLoop(t *testing.T) {
+	// A conditional loop may run zero times: body events are may-only.
+	checkEvents(t, `
+for i := 0; i < n; i++ {
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"b", "d"})
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	// The only way out is past b(), so b is a must-event.
+	checkEvents(t, `
+for {
+	b()
+	if cond {
+		break
+	}
+}
+d()`,
+		[]string{"b", "d"},
+		[]string{"b", "d"})
+}
+
+func TestForContinueSkipsTail(t *testing.T) {
+	checkEvents(t, `
+for i := 0; i < n; i++ {
+	if cond {
+		continue
+	}
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"b", "d"})
+}
+
+func TestRangeLoop(t *testing.T) {
+	checkEvents(t, `
+for range xs {
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"b", "d"})
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	// Without default the head can fall through to after: no case body
+	// is a must-event.
+	checkEvents(t, `
+switch x {
+case 1:
+	a()
+case 2:
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"a", "b", "d"})
+}
+
+func TestSwitchWithDefaultAllPathsEmit(t *testing.T) {
+	checkEvents(t, `
+switch x {
+case 1:
+	a()
+	c()
+case 2:
+	b()
+	c()
+default:
+	c()
+}
+d()`,
+		[]string{"c", "d"},
+		[]string{"a", "b", "c", "d"})
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	// case 1 falls into case 2, so a-path also sees b.
+	src := `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	b()
+}
+d()`
+	checkEvents(t, src, []string{"b", "d"}, []string{"a", "b", "d"})
+}
+
+func TestTypeSwitch(t *testing.T) {
+	checkEvents(t, `
+switch v := x.(type) {
+case int:
+	a()
+	use(v)
+default:
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"a", "b", "d", "use"})
+}
+
+func TestSelect(t *testing.T) {
+	checkEvents(t, `
+select {
+case <-ch1:
+	a()
+case ch2 <- v:
+	b()
+}
+d()`,
+		[]string{"d"},
+		[]string{"a", "b", "d"})
+}
+
+func TestGotoForward(t *testing.T) {
+	// goto skips b() on one path; label is also reached by fallthrough
+	// from b().
+	checkEvents(t, `
+a()
+if cond {
+	goto done
+}
+b()
+done:
+d()`,
+		[]string{"a", "d"},
+		[]string{"a", "b", "d"})
+}
+
+func TestGotoBackward(t *testing.T) {
+	checkEvents(t, `
+retry:
+a()
+if cond {
+	goto retry
+}
+d()`,
+		[]string{"a", "d"},
+		[]string{"a", "d"})
+}
+
+func TestLabeledBreak(t *testing.T) {
+	// break outer exits both loops, skipping c(); b() precedes every
+	// exit from the loop nest... but the outer loop may run zero times.
+	checkEvents(t, `
+outer:
+for i := 0; i < n; i++ {
+	for {
+		b()
+		if cond {
+			break outer
+		}
+	}
+}
+d()`,
+		[]string{"d"},
+		[]string{"b", "d"})
+}
+
+func TestLabeledContinue(t *testing.T) {
+	checkEvents(t, `
+outer:
+for i := 0; i < n; i++ {
+	for j := 0; j < n; j++ {
+		if cond {
+			continue outer
+		}
+		b()
+	}
+	c()
+}
+d()`,
+		[]string{"d"},
+		[]string{"b", "c", "d"})
+}
+
+func TestEarlyReturn(t *testing.T) {
+	checkEvents(t, `
+a()
+if cond {
+	b()
+	return
+}
+d()`,
+		[]string{"a"},
+		[]string{"a", "b", "d"})
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	// The panic arm never reaches Exit, so b() is on every normal path.
+	checkEvents(t, `
+a()
+if cond {
+	panic("boom")
+}
+b()`,
+		[]string{"a", "b"},
+		[]string{"a", "b"})
+}
+
+func TestUnconditionalPanicMakesExitUnreachable(t *testing.T) {
+	g := Build(parseBody(t, `
+a()
+panic("boom")`))
+	if _, ok := events(g, false); ok {
+		t.Fatal("Exit should be unreachable after unconditional panic")
+	}
+	if len(g.Panic.Preds) == 0 {
+		t.Fatal("panic call should edge into the Panic block")
+	}
+}
+
+func TestOsExitIsTerminal(t *testing.T) {
+	checkEvents(t, `
+if cond {
+	os.Exit(1)
+}
+b()`,
+		[]string{"b"},
+		[]string{"b"})
+}
+
+func TestDeferIsAnOrdinaryNode(t *testing.T) {
+	g := Build(parseBody(t, `
+a()
+defer cleanup()
+b()`))
+	var defers int
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				defers++
+			}
+		}
+	}
+	if defers != 1 {
+		t.Fatalf("found %d DeferStmt nodes, want 1", defers)
+	}
+	// The defer registration point is on the straight-line path, so it
+	// is a node of a block from which Exit is reachable.
+	checkEvents(t, `
+a()
+defer cleanup()
+b()`, []string{"a", "b"}, []string{"a", "b"})
+}
+
+func TestNoCompositeStatementsInNodes(t *testing.T) {
+	g := Build(parseBody(t, `
+a()
+if c1 {
+	for i := 0; i < n; i++ {
+		switch x {
+		case 1:
+			select {
+			case <-ch:
+				b()
+			}
+		}
+	}
+}
+L:
+for range xs {
+	break L
+}
+d()`))
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			switch n.(type) {
+			case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+				*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+				*ast.BlockStmt, *ast.LabeledStmt:
+				t.Errorf("composite statement %T stored in Block.Nodes", n)
+			}
+		}
+	}
+}
+
+func TestFuncLitIsOpaque(t *testing.T) {
+	// The literal's body must not leak events into the outer graph.
+	checkEvents(t, `
+a()
+f := func() {
+	hidden()
+}
+f()
+d()`,
+		[]string{"a", "d", "f"},
+		[]string{"a", "d", "f"})
+}
+
+func TestPredsMirrorSuccs(t *testing.T) {
+	g := Build(parseBody(t, `
+a()
+if cond {
+	b()
+}
+for i := 0; i < n; i++ {
+	c()
+}
+d()`))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("block %d -> %d edge missing from Preds", blk.Index, s.Index)
+			}
+		}
+	}
+}
+
+func TestDeadCodeIsUnreached(t *testing.T) {
+	// Code after return parses into blocks but has no in-fact.
+	g := Build(parseBody(t, `
+a()
+return
+b()`))
+	must, ok := events(g, true)
+	if !ok {
+		t.Fatal("Exit should be reachable via return")
+	}
+	if fmt.Sprint(must) != fmt.Sprint([]string{"a"}) {
+		t.Fatalf("events = %v, want [a]", must)
+	}
+}

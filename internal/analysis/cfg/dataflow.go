@@ -1,0 +1,43 @@
+package cfg
+
+// Forward runs a forward dataflow analysis to a fixpoint and returns
+// the fact flowing INTO each reached block. Blocks never reached from
+// Entry (dead code) are absent from the result.
+//
+// The merge discipline makes one analysis driver serve both may- and
+// must-style analyses: a block's in-fact merges only the facts of
+// predecessors actually reached so far, so a must-analysis
+// (intersection merge) needs no artificial "top" element — the first
+// reaching predecessor seeds the fact and later ones intersect into it.
+//
+// Facts are treated as immutable values: transfer must not mutate its
+// input, and merge must either return one of its arguments unchanged or
+// a fresh value. equal stops propagation, so it must be reflexive over
+// whatever merge returns.
+func Forward[F any](g *Graph, entry F, merge func(F, F) F, equal func(F, F) bool, transfer func(*Block, F) F) map[*Block]F {
+	in := map[*Block]F{g.Entry: entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := transfer(blk, in[blk])
+		for _, s := range blk.Succs {
+			cur, seen := in[s]
+			next := out
+			if seen {
+				next = merge(cur, out)
+				if equal(next, cur) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}

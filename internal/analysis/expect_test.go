@@ -126,6 +126,27 @@ func TestSlabCopyFixture(t *testing.T) {
 	runFixture(t, &SlabCopy{}, fixturePath("slabcopy"))
 }
 
+func TestGuardFieldFixture(t *testing.T) {
+	runFixture(t, &GuardField{}, fixturePath("guardfield"))
+}
+
+func TestPairPathFixture(t *testing.T) {
+	runFixture(t, &PairPath{}, fixturePath("pairpath"))
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	a := &CtxFlow{Packages: []string{"pegflow/internal/analysis/testdata/src/ctxflow/..."}}
+	runFixture(t, a, fixturePath("ctxflow"))
+}
+
+func TestLockHoldFixture(t *testing.T) {
+	a := &LockHold{
+		Packages:      []string{"pegflow/internal/analysis/testdata/src/lockhold/..."},
+		BlockingCalls: []string{"pegflow/internal/analysis/testdata/src/lockhold/a.simulate"},
+	}
+	runFixture(t, a, fixturePath("lockhold"))
+}
+
 // TestFixturesAreOutsideRepoLintScope pins the property the self-check
 // relies on: `go list ./...` never expands into testdata, so the
 // deliberately broken fixtures cannot dirty the repo lint.

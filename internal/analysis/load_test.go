@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// scratchModule materializes a throwaway module so Load's failure modes
+// can be exercised without checking broken Go files into the repo.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module scratch\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadParseError(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"a.go": "package scratch\n\nfunc broken( {\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "analysis:") {
+		t.Errorf("error %q does not carry the analysis: prefix", err)
+	}
+}
+
+func TestLoadTypeCheckError(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"a.go": "package scratch\n\nvar x = undefinedIdent\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module that does not type-check")
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Errorf("error %q does not identify the type-check phase", err)
+	}
+}
+
+func TestLoadNonexistentPattern(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"a.go": "package scratch\n",
+	})
+	_, err := Load(dir, "./no/such/dir")
+	if err == nil {
+		t.Fatal("Load succeeded on a pattern matching nothing")
+	}
+}
+
+func TestLoadEmptyModule(t *testing.T) {
+	dir := scratchModule(t, map[string]string{})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a module with no Go files")
+	}
+	if !strings.Contains(err.Error(), "no module packages matched") {
+		t.Errorf("error %q does not report the empty match", err)
+	}
+}

@@ -1,0 +1,481 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pegflow/internal/analysis/cfg"
+)
+
+// LockHold forbids blocking while a mutex is held. Shard and server
+// mutexes in this repo guard short critical sections on the request
+// path; a channel operation, a WaitGroup.Wait, a sync.Once.Do (which
+// can run an arbitrarily slow init), an I/O call or a cell-simulation
+// entry point inside such a section turns every sibling request into a
+// convoy — or a deadlock when the blocked operation needs the lock to
+// make progress.
+//
+// What counts as blocking: channel send/receive (including range over
+// a channel and selects without a default), WaitGroup.Wait, Once.Do,
+// acquiring another mutex (lock-ordering hazard; re-acquiring the SAME
+// mutex is self-deadlock), anything annotated //pegflow:blocking, the
+// configured entry points in BlockingCalls, and — transitively — any
+// module function whose body synchronously does one of the above.
+// Internally lock-bounded helpers (lock, touch state, unlock) are NOT
+// propagated as blocking: a bounded critical section is what locks are
+// for.
+//
+// Held-ness is a may-dataflow over the CFG: Lock/RLock generate, only
+// an explicit Unlock on the path kills — a deferred unlock keeps the
+// section open to function exit, which is the point. Deferred calls
+// themselves are exempt from checking: they run LIFO after the
+// deferred unlock at exit.
+type LockHold struct {
+	// Packages restricts checking; patterns as in matchPath.
+	Packages []string
+	// BlockingCalls are functions treated as blocking regardless of
+	// body analysis, as "pkg/path.Func" or "pkg/path.Type.Method"
+	// (matching clonegate/escapegate config syntax). Use it for
+	// simulation entry points and stdlib I/O.
+	BlockingCalls []string
+}
+
+func (*LockHold) Name() string { return "lockhold" }
+func (*LockHold) Doc() string {
+	return "flag blocking operations (channels, I/O, simulation entry points) performed while a mutex is held"
+}
+
+func (l *LockHold) Run(prog *Program, report func(pos token.Position, key, message string)) error {
+	m := collectConcMarkers(prog)
+	blocking := l.propagateBlocking(prog, m)
+	for _, pkg := range prog.Module {
+		if !matchPath(pkg.Path, l.Packages) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			sel := collectSelectInfo(file)
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					l.checkFunc(prog, pkg, m, blocking, sel, fd.Body, report)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					l.checkFunc(prog, pkg, m, blocking, sel, fl.Body, report)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// selectInfo classifies channel operations that are select comms, so
+// they are judged through their select (a default case makes the whole
+// construct non-blocking).
+type selectInfo struct {
+	// op maps a comm operation node to its select statement.
+	op map[ast.Node]*ast.SelectStmt
+	// hasDefault marks selects with a default clause.
+	hasDefault map[*ast.SelectStmt]bool
+	// rangeChan maps the X expression of `for range ch` to the range
+	// statement (a blocking receive per iteration).
+	rangeChan map[ast.Node]*ast.RangeStmt
+}
+
+func collectSelectInfo(file *ast.File) *selectInfo {
+	si := &selectInfo{
+		op:         map[ast.Node]*ast.SelectStmt{},
+		hasDefault: map[*ast.SelectStmt]bool{},
+		rangeChan:  map[ast.Node]*ast.RangeStmt{},
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			si.hasDefault[n] = selectHasDefault(n)
+			for _, cl := range n.Body.List {
+				cc := cl.(*ast.CommClause)
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					si.op[comm] = n
+				case *ast.ExprStmt:
+					si.op[ast.Unparen(comm.X)] = n
+				case *ast.AssignStmt:
+					if len(comm.Rhs) == 1 {
+						si.op[ast.Unparen(comm.Rhs[0])] = n
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			si.rangeChan[ast.Unparen(n.X)] = n
+		}
+		return true
+	})
+	return si
+}
+
+// propagateBlocking seeds the blocking set from //pegflow:blocking
+// markers and closes it over the module call graph: a named function
+// or closure-valued variable whose body synchronously blocks is itself
+// blocking.
+func (l *LockHold) propagateBlocking(prog *Program, m *concMarkers) map[types.Object]bool {
+	blocking := make(map[types.Object]bool, len(m.blocking))
+	for obj := range m.blocking {
+		blocking[obj] = true
+	}
+	type fnBody struct {
+		pkg  *Package
+		body *ast.BlockStmt
+	}
+	bodies := map[types.Object]fnBody{}
+	for _, pkg := range prog.Module {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+						bodies[obj] = fnBody{pkg, fd.Body}
+					}
+				}
+			}
+			// Closures bound to a variable: x := func() {...} and
+			// var x = func() {...}.
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						fl, ok := rhs.(*ast.FuncLit)
+						if !ok || i >= len(n.Lhs) {
+							continue
+						}
+						id, ok := n.Lhs[i].(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pkg.Info.Defs[id]
+						if obj == nil {
+							obj = pkg.Info.Uses[id]
+						}
+						if obj != nil {
+							bodies[obj] = fnBody{pkg, fl.Body}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, v := range n.Values {
+						if fl, ok := v.(*ast.FuncLit); ok && i < len(n.Names) {
+							if obj := pkg.Info.Defs[n.Names[i]]; obj != nil {
+								bodies[obj] = fnBody{pkg, fl.Body}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fb := range bodies {
+			if blocking[obj] {
+				continue
+			}
+			if l.bodyBlocks(fb.pkg, m, blocking, fb.body) {
+				blocking[obj] = true
+				changed = true
+			}
+		}
+	}
+	return blocking
+}
+
+// bodyBlocks reports whether a function body synchronously performs a
+// blocking operation. Deferred calls, spawned goroutines and nested
+// literals (values, not calls) do not count.
+func (l *LockHold) bodyBlocks(pkg *Package, m *concMarkers, blocking map[types.Object]bool, body *ast.BlockStmt) bool {
+	si := &selectInfo{op: map[ast.Node]*ast.SelectStmt{}, hasDefault: map[*ast.SelectStmt]bool{}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			si.hasDefault[sel] = selectHasDefault(sel)
+			for _, cl := range sel.Body.List {
+				cc := cl.(*ast.CommClause)
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					si.op[comm] = sel
+				case *ast.ExprStmt:
+					si.op[ast.Unparen(comm.X)] = sel
+				case *ast.AssignStmt:
+					if len(comm.Rhs) == 1 {
+						si.op[ast.Unparen(comm.Rhs[0])] = sel
+					}
+				}
+			}
+		}
+		return true
+	})
+	blocks := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if sel := si.op[n]; sel == nil || !si.hasDefault[sel] {
+				blocks = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if sel := si.op[n]; sel == nil || !si.hasDefault[sel] {
+					blocks = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil && isChanType(t) {
+				blocks = true
+			}
+		case *ast.CallExpr:
+			if op, _ := syncCall(pkg.Info, n); op == opWGWait || op == opOnceDo {
+				blocks = true
+				return false
+			}
+			if _, _, isBlocking := l.calleeBlocking(pkg, blocking, n); isBlocking {
+				blocks = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return blocks
+}
+
+// calleeBlocking resolves a call's target and reports whether it is in
+// the blocking set (markers + propagation) or matches BlockingCalls.
+func (l *LockHold) calleeBlocking(pkg *Package, blocking map[types.Object]bool, call *ast.CallExpr) (name, qualified string, isBlocking bool) {
+	obj := calleeObj(pkg.Info, call)
+	if obj == nil {
+		// Indirect call through a plain variable (closure, callback
+		// field): resolve the identifier / field object.
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			obj = pkg.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[fun]; ok {
+				obj = sel.Obj()
+			}
+		}
+	}
+	if obj == nil {
+		return "", "", false
+	}
+	if blocking[obj] {
+		return obj.Name(), obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		q := funcKey(fn)
+		for _, pat := range l.BlockingCalls {
+			if q == pat {
+				return obj.Name(), q, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// lockFact is the may-set of held mutexes: held on SOME path reaching
+// this point is enough to flag. Values describe the acquire for the
+// message.
+type lockFact map[holdKey]string
+
+func mergeLock(a, b lockFact) lockFact {
+	out := make(lockFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if have, ok := out[k]; !ok || v < have {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalLock(a, b lockFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *LockHold) checkFunc(prog *Program, pkg *Package, m *concMarkers, blocking map[types.Object]bool, si *selectInfo, body *ast.BlockStmt, report func(pos token.Position, key, message string)) {
+	graph := cfg.Build(body)
+	in := cfg.Forward(graph, lockFact{}, mergeLock, equalLock, func(blk *cfg.Block, f lockFact) lockFact {
+		for _, n := range blk.Nodes {
+			f = l.step(pkg, f, n)
+		}
+		return f
+	})
+	reportedSelects := map[*ast.SelectStmt]bool{}
+	for _, blk := range graph.Blocks {
+		f, reached := in[blk]
+		if !reached {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if len(f) > 0 {
+				l.checkNode(prog, pkg, m, blocking, si, f, n, reportedSelects, report)
+			}
+			f = l.step(pkg, f, n)
+		}
+	}
+}
+
+// step applies lock gen/kill. Defers are skipped: a deferred unlock
+// releases at exit, after every statement in the function, so it never
+// shortens the held region.
+func (l *LockHold) step(pkg *Package, f lockFact, n ast.Node) lockFact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return f
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, recv := syncCall(pkg.Info, call)
+		key, keyOK := syncKey(pkg.Info, recv)
+		if !keyOK {
+			return true
+		}
+		switch op {
+		case opLock:
+			f = withLock(f, key, key.String()+" (Lock)")
+		case opRLock:
+			f = withLock(f, key, key.String()+" (RLock)")
+		case opUnlock, opRUnlock:
+			f = withoutLock(f, key)
+		}
+		return true
+	})
+	return f
+}
+
+func withLock(f lockFact, k holdKey, desc string) lockFact {
+	out := make(lockFact, len(f)+1)
+	for key, v := range f {
+		out[key] = v
+	}
+	out[k] = desc
+	return out
+}
+
+func withoutLock(f lockFact, k holdKey) lockFact {
+	if _, ok := f[k]; !ok {
+		return f
+	}
+	out := make(lockFact, len(f))
+	for key, v := range f {
+		if key != k {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+// heldDesc renders the held set for messages, smallest key first for
+// determinism.
+func heldDesc(f lockFact) string {
+	var best string
+	for _, v := range f {
+		if best == "" || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (l *LockHold) checkNode(prog *Program, pkg *Package, m *concMarkers, blocking map[types.Object]bool, si *selectInfo, f lockFact, n ast.Node, reportedSelects map[*ast.SelectStmt]bool, report func(pos token.Position, key, message string)) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	held := heldDesc(f)
+	chanOp := func(pos token.Pos, kind string, node ast.Node) {
+		if sel, inSelect := si.op[node]; inSelect {
+			if si.hasDefault[sel] || reportedSelects[sel] {
+				return
+			}
+			reportedSelects[sel] = true
+			report(prog.Fset.Position(sel.Pos()), "select",
+				fmt.Sprintf("blocking select while %s is held; add a default case or move it outside the critical section", held))
+			return
+		}
+		report(prog.Fset.Position(pos), kind,
+			fmt.Sprintf("channel %s while %s is held blocks every contender for the lock; move it outside the critical section", kind, held))
+	}
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		chanOp(n.Pos(), "send", n)
+		return
+	case *ast.GoStmt:
+		return
+	}
+	// Range-over-channel: the range operand appears as a node of the
+	// block evaluating it.
+	if e, isExpr := n.(ast.Expr); isExpr {
+		if rs, isRange := si.rangeChan[ast.Unparen(e)]; isRange {
+			if t := pkg.Info.TypeOf(rs.X); t != nil && isChanType(t) {
+				report(prog.Fset.Position(rs.Pos()), "range",
+					fmt.Sprintf("range over a channel while %s is held; each iteration is a blocking receive", held))
+				return
+			}
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				chanOp(c.Pos(), "receive", ast.Unparen(c))
+			}
+		case *ast.CallExpr:
+			op, recv := syncCall(pkg.Info, c)
+			switch op {
+			case opWGWait:
+				report(prog.Fset.Position(c.Pos()), "sync.WaitGroup.Wait",
+					fmt.Sprintf("WaitGroup.Wait while %s is held; waiting goroutines may need the lock — deadlock", held))
+				return true
+			case opOnceDo:
+				report(prog.Fset.Position(c.Pos()), "sync.Once.Do",
+					fmt.Sprintf("sync.Once.Do while %s is held can run an arbitrarily slow init inside the critical section", held))
+				return true
+			case opLock, opRLock:
+				if key, ok := syncKey(pkg.Info, recv); ok {
+					if _, same := f[key]; same {
+						report(prog.Fset.Position(c.Pos()), key.String(),
+							fmt.Sprintf("re-acquires %s while it may already be held on this path: self-deadlock", key))
+					} else {
+						report(prog.Fset.Position(c.Pos()), key.String(),
+							fmt.Sprintf("acquires %s while %s is held; nested locks order-deadlock under contention — release first", key, held))
+					}
+				}
+				return true
+			}
+			if name, qualified, isBlocking := l.calleeBlocking(pkg, blocking, c); isBlocking {
+				report(prog.Fset.Position(c.Pos()), name,
+					fmt.Sprintf("call to blocking %s while %s is held; move it outside the critical section", qualified, held))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"pegflow/internal/analysis/cfg"
+)
+
+// PairPath enforces acquire/release pairing along every non-panic
+// control-flow path: sync.Mutex.Lock must reach Unlock, RLock must
+// reach RUnlock (a plain Unlock does not release a read hold),
+// WaitGroup.Add must reach Done, and a send into a //pegflow:token
+// semaphore channel (the cell gate, the in-flight request slots) must
+// reach the receive that returns the slot. The classic bug this kills
+// is the early-return leak: acquire, then a later `if err != nil {
+// return err }` added between acquire and release.
+//
+// Releases count in three forms: a direct release on the path, a
+// `defer` that performs the release (from the defer statement onward
+// the release is guaranteed on every exit, panics included), and a
+// `go` statement whose function literal performs it (the
+// `wg.Add(1); go func() { defer wg.Done() }()` idiom hands the
+// obligation to the spawned goroutine). Paths that end in panic or
+// os.Exit are exempt — the process is going down anyway.
+type PairPath struct{}
+
+func (*PairPath) Name() string { return "pairpath" }
+func (*PairPath) Doc() string {
+	return "flag Lock/Add/token acquires that can return without reaching their paired release"
+}
+
+// pairMode separates the pairing families so a mismatched release
+// (RLock closed by Unlock) cannot satisfy the acquire.
+type pairMode int
+
+const (
+	pairExcl pairMode = iota
+	pairRead
+	pairWG
+	pairToken
+)
+
+type pairKey struct {
+	holdKey
+	mode pairMode
+}
+
+// acquire records where an obligation was created, for reporting.
+type acquire struct {
+	pos  token.Pos
+	desc string
+}
+
+// pairFact maps open obligations to their acquire site. Union merge:
+// leaked on ANY path is a finding; the earliest acquire position wins
+// so reports are deterministic.
+type pairFact map[pairKey]acquire
+
+func (*PairPath) mergeFacts(a, b pairFact) pairFact {
+	out := make(pairFact, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if have, ok := out[k]; !ok || v.pos < have.pos {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalPair(a, b pairFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *PairPath) Run(prog *Program, report func(pos token.Position, key, message string)) error {
+	m := collectConcMarkers(prog)
+	for _, pkg := range prog.Module {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					p.checkFunc(prog, pkg, m, fd.Body, report)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					p.checkFunc(prog, pkg, m, fl.Body, report)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func (p *PairPath) checkFunc(prog *Program, pkg *Package, m *concMarkers, body *ast.BlockStmt, report func(pos token.Position, key, message string)) {
+	graph := cfg.Build(body)
+	in := cfg.Forward(graph, pairFact{}, p.mergeFacts, equalPair, func(blk *cfg.Block, f pairFact) pairFact {
+		for _, n := range blk.Nodes {
+			f = p.step(pkg, m, f, n)
+		}
+		return f
+	})
+	leaked, reached := in[graph.Exit]
+	if !reached {
+		return
+	}
+	// Deterministic order: by acquire position.
+	keys := make([]pairKey, 0, len(leaked))
+	for k := range leaked {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if leaked[keys[j]].pos < leaked[keys[i]].pos {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		acq := leaked[k]
+		report(prog.Fset.Position(acq.pos), k.holdKey.String(),
+			fmt.Sprintf("%s is not released on every non-panic path to return; release before each return or use defer", acq.desc))
+	}
+}
+
+// step applies one node's acquire/release effects.
+func (p *PairPath) step(pkg *Package, m *concMarkers, f pairFact, n ast.Node) pairFact {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		// The registered call runs on every exit from here on: its
+		// releases discharge obligations.
+		return p.kill(pkg, m, f, releaseEffects(pkg, m, n.Call))
+	case *ast.GoStmt:
+		// Releases inside the spawned goroutine discharge the
+		// obligation by handing it off (wg.Add / go func(){defer
+		// wg.Done()} and token-returning workers).
+		if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			return p.kill(pkg, m, f, releasesInBody(pkg, m, fl.Body))
+		}
+		return f
+	case *ast.SendStmt:
+		if key, ok := m.tokenChan(pkg.Info, n.Chan); ok {
+			return p.gen(f, pairKey{holdKey: key, mode: pairToken}, n.Pos(), fmt.Sprintf("token acquired by send into %s", key))
+		}
+		return f
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if c.Op == token.ARROW {
+				if key, ok := m.tokenChan(pkg.Info, c.X); ok {
+					f = p.kill(pkg, m, f, []pairKey{{holdKey: key, mode: pairToken}})
+				}
+			}
+		case *ast.CallExpr:
+			f = p.stepCall(pkg, f, c)
+		}
+		return true
+	})
+	return f
+}
+
+func (p *PairPath) stepCall(pkg *Package, f pairFact, call *ast.CallExpr) pairFact {
+	op, recv := syncCall(pkg.Info, call)
+	if op == opNone {
+		return f
+	}
+	key, ok := syncKey(pkg.Info, recv)
+	if !ok {
+		return f
+	}
+	switch op {
+	case opLock:
+		return p.gen(f, pairKey{holdKey: key, mode: pairExcl}, call.Pos(), key.String()+".Lock()")
+	case opRLock:
+		return p.gen(f, pairKey{holdKey: key, mode: pairRead}, call.Pos(), key.String()+".RLock()")
+	case opWGAdd:
+		return p.gen(f, pairKey{holdKey: key, mode: pairWG}, call.Pos(), key.String()+".Add()")
+	case opUnlock:
+		return p.killOne(f, pairKey{holdKey: key, mode: pairExcl})
+	case opRUnlock:
+		return p.killOne(f, pairKey{holdKey: key, mode: pairRead})
+	case opWGDone:
+		return p.killOne(f, pairKey{holdKey: key, mode: pairWG})
+	}
+	return f
+}
+
+func (p *PairPath) gen(f pairFact, k pairKey, pos token.Pos, desc string) pairFact {
+	out := make(pairFact, len(f)+1)
+	for key, v := range f {
+		out[key] = v
+	}
+	if have, ok := out[k]; !ok || pos < have.pos {
+		out[k] = acquire{pos: pos, desc: desc}
+	}
+	return out
+}
+
+func (p *PairPath) killOne(f pairFact, k pairKey) pairFact {
+	if _, ok := f[k]; !ok {
+		return f
+	}
+	out := make(pairFact, len(f))
+	for key, v := range f {
+		if key != k {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+func (p *PairPath) kill(pkg *Package, m *concMarkers, f pairFact, keys []pairKey) pairFact {
+	for _, k := range keys {
+		f = p.killOne(f, k)
+	}
+	return f
+}
+
+// releaseEffects lists the obligations a deferred call discharges:
+// either a direct release call, or every release inside a deferred
+// function literal.
+func releaseEffects(pkg *Package, m *concMarkers, call *ast.CallExpr) []pairKey {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		return releasesInBody(pkg, m, fl.Body)
+	}
+	op, recv := syncCall(pkg.Info, call)
+	if op == opNone {
+		return nil
+	}
+	key, ok := syncKey(pkg.Info, recv)
+	if !ok {
+		return nil
+	}
+	switch op {
+	case opUnlock:
+		return []pairKey{{holdKey: key, mode: pairExcl}}
+	case opRUnlock:
+		return []pairKey{{holdKey: key, mode: pairRead}}
+	case opWGDone:
+		return []pairKey{{holdKey: key, mode: pairWG}}
+	}
+	return nil
+}
+
+// releasesInBody collects every release performed anywhere in a
+// function body (deferred goroutine/closure hand-off).
+func releasesInBody(pkg *Package, m *concMarkers, body ast.Node) []pairKey {
+	var out []pairKey
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, releaseEffects(pkg, m, n)...)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if key, ok := m.tokenChan(pkg.Info, n.X); ok {
+					out = append(out, pairKey{holdKey: key, mode: pairToken})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

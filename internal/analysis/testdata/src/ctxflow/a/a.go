@@ -1,0 +1,83 @@
+// Package a is a ctxflow fixture: context threading and observable
+// blocking on the request path.
+package a
+
+import (
+	"context"
+	"net/http"
+)
+
+func goodSelect(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func badSelect(ctx context.Context, ch chan int) int {
+	select { // want `blocking select with a context in scope has no ctx\.Done\(\) case`
+	case v := <-ch:
+		return v
+	}
+}
+
+// goodDefaultSelect never blocks: default makes the select a poll.
+func goodDefaultSelect(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func badBareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `bare channel send in a context-receiving function`
+}
+
+func badBareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want `bare channel receive in a context-receiving function`
+}
+
+func badBackground(ctx context.Context) error {
+	return work(context.Background()) // want `thread it instead of starting a fresh context\.Background\(\)`
+}
+
+func badTODO(ctx context.Context) error {
+	return work(context.TODO()) // want `thread it instead of starting a fresh context\.TODO\(\)`
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// noCtx has no context anywhere: bare channel operations and a root
+// Background() are exactly right here.
+func noCtx(ch chan int) context.Context {
+	ch <- 1
+	<-ch
+	return context.Background()
+}
+
+// capturedCtx: the closure captures ctx, so its blocking select must
+// still offer a ctx.Done() arm.
+func capturedCtx(ctx context.Context, ch chan int) func() int {
+	return func() int {
+		if ctx.Err() != nil {
+			return 0
+		}
+		select { // want `blocking select with a context in scope has no ctx\.Done\(\) case`
+		case v := <-ch:
+			return v
+		}
+	}
+}
+
+// tokenRelease captures no context: an uncancelable token return is
+// legal (and must stay so — the slot has to go back).
+func tokenRelease(gate chan struct{}) func() {
+	return func() { <-gate }
+}
+
+// handler receives the context through *http.Request.
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = work(context.Background()) // want `thread it instead of starting a fresh context\.Background\(\)`
+}

@@ -1,0 +1,125 @@
+// Package a is a lockhold fixture: blocking operations inside and
+// outside critical sections.
+package a
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	ch    chan int
+	// sink delivers a value to a consumer; a slow consumer blocks it.
+	//pegflow:blocking
+	sink func(int)
+}
+
+func (s *store) badSendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while s\.mu \(Lock\) is held`
+	s.mu.Unlock()
+}
+
+func (s *store) badRecvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while s\.mu \(Lock\) is held`
+}
+
+func (s *store) goodAfterUnlock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *store) badCallbackUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink(v) // want `call to blocking sink while s\.mu \(Lock\) is held`
+}
+
+func (s *store) goodSelectDefault(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+func (s *store) badBlockingSelect() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu \(Lock\) is held`
+	case v := <-s.ch:
+		return v
+	}
+}
+
+func (s *store) badNestedLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.other.Lock() // want `acquires s\.other while s\.mu \(Lock\) is held`
+	s.other.Unlock()
+}
+
+func (s *store) badReacquire() {
+	s.mu.Lock()
+	s.mu.Lock() // want `re-acquires s\.mu while it may already be held`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *store) badRangeUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for v := range s.ch { // want `range over a channel while s\.mu \(Lock\) is held`
+		total += v
+	}
+	return total
+}
+
+func (s *store) badWaitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `WaitGroup\.Wait while s\.mu \(Lock\) is held`
+}
+
+func (s *store) badOnceUnderLock(once *sync.Once) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	once.Do(setup) // want `sync\.Once\.Do while s\.mu \(Lock\) is held`
+}
+
+func setup() {}
+
+// emitAll blocks by body analysis: range over a channel.
+func (s *store) emitAll() {
+	for v := range s.ch {
+		s.sink(v)
+	}
+}
+
+func (s *store) badTransitive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emitAll() // want `call to blocking emitAll while s\.mu \(Lock\) is held`
+}
+
+// simulate is blocking by configuration (BlockingCalls), standing in
+// for a cell-simulation entry point.
+func simulate() int { return 42 }
+
+func (s *store) badSimulateUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return simulate() // want `call to blocking .*simulate while s\.mu \(Lock\) is held`
+}
+
+// goodGoUnderLock: spawning is instant; the goroutine body is checked
+// as its own (lock-free) function.
+func (s *store) goodGoUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { s.ch <- v }()
+}

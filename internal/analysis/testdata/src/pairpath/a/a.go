@@ -1,0 +1,100 @@
+// Package a is a pairpath fixture: acquires that do or do not reach
+// their paired release on every non-panic path.
+package a
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	// slots is a semaphore: a send takes a slot, a receive returns it.
+	//pegflow:token
+	slots chan struct{}
+}
+
+func (b *box) goodDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+func (b *box) goodExplicit(v bool) int {
+	b.mu.Lock()
+	if v {
+		b.mu.Unlock()
+		return 1
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func (b *box) badEarlyReturn(err error) error {
+	b.mu.Lock() // want `b\.mu\.Lock\(\) is not released on every non-panic path`
+	if err != nil {
+		return err
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// badMismatch: a plain Unlock does not discharge a read hold.
+func (b *box) badMismatch() {
+	b.rw.RLock() // want `b\.rw\.RLock\(\) is not released on every non-panic path`
+	b.rw.Unlock()
+}
+
+func (b *box) goodRead() {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+}
+
+func (b *box) goodToken() {
+	b.slots <- struct{}{}
+	defer func() { <-b.slots }()
+}
+
+func (b *box) badTokenLeak(err error) error {
+	b.slots <- struct{}{} // want `token acquired by send into b\.slots is not released on every non-panic path`
+	if err != nil {
+		return err
+	}
+	<-b.slots
+	return nil
+}
+
+// goodSelectAcquire: the token is only acquired on the branch that
+// takes the slot, and that branch releases by deferred receive.
+func (b *box) goodSelectAcquire() bool {
+	select {
+	case b.slots <- struct{}{}:
+	default:
+		return false
+	}
+	defer func() { <-b.slots }()
+	return true
+}
+
+// goodWG: the obligation is handed off to the spawned goroutine.
+func goodWG(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func badWG() {
+	var wg sync.WaitGroup
+	wg.Add(1) // want `wg\.Add\(\) is not released on every non-panic path`
+}
+
+// panicPathExempt: a path that ends in panic owes nothing.
+func (b *box) panicPathExempt(bad bool) {
+	b.mu.Lock()
+	if bad {
+		panic("invariant violated")
+	}
+	b.mu.Unlock()
+}

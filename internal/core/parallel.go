@@ -36,6 +36,7 @@ type SweepOptions struct {
 	// Progress, when non-nil, is called after each completed grid cell
 	// with the number of finished cells and the total. Calls are
 	// serialized, but their order follows completion, not cell order.
+	//pegflow:blocking
 	Progress func(done, total int)
 }
 

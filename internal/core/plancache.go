@@ -26,46 +26,67 @@ import (
 	"pegflow/internal/workflow"
 )
 
-// cacheShards spreads the plan and member-DAX caches across independent
-// sync.Maps, selected by a fingerprint hash of the key, so concurrent
+// cacheShards spreads the plan and member-DAX caches across independently
+// locked shards, selected by a fingerprint hash of the key, so concurrent
 // mixed-document traffic (the serve tier's steady state) does not contend
-// on one map's internals.
+// on one map's lock.
 const cacheShards = 16
 
-// shardedMap is a fixed-size array of sync.Maps; callers route each key
-// to a shard with a hash they compute from the key's identity fields.
+// shardedMap is a fixed-size array of mutex-guarded maps; callers route
+// each key to a shard with a hash they compute from the key's identity
+// fields. A plain mutex+map beats sync.Map here: LoadOrStore is the only
+// hot operation, each call is one short critical section with no
+// per-entry wrapper allocation, and the guarded state is visible to the
+// guardfield analyzer. Heavy lifting (plan construction) happens outside
+// the lock via the cached entry's sync.Once.
 type shardedMap struct {
-	shards [cacheShards]sync.Map
+	shards [cacheShards]mapShard
 }
 
+// mapShard is one independently locked slice of a shardedMap.
+type mapShard struct {
+	mu sync.Mutex
+	//pegflow:guarded mu
+	m map[any]any
+}
+
+// LoadOrStore returns the value stored under key, or stores and returns
+// val if the key was absent. The bool reports whether the value was
+// already present.
 func (m *shardedMap) LoadOrStore(hash uint64, key, val any) (any, bool) {
-	return m.shards[hash%cacheShards].LoadOrStore(key, val)
+	sh := &m.shards[hash%cacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.m[key]; ok {
+		return v, true
+	}
+	if sh.m == nil {
+		sh.m = make(map[any]any)
+	}
+	sh.m[key] = val
+	return val, false
 }
 
-// Range visits every entry across all shards.
-func (m *shardedMap) Range(f func(k, v any) bool) {
+// Len counts entries across all shards (cache introspection; the
+// warm-cache tests assert entry counts with it).
+func (m *shardedMap) Len() int {
+	n := 0
 	for i := range m.shards {
-		done := false
-		m.shards[i].Range(func(k, v any) bool {
-			if !f(k, v) {
-				done = true
-				return false
-			}
-			return true
-		})
-		if done {
-			return
-		}
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
 	}
+	return n
 }
 
 // Clear drops every entry from every shard.
 func (m *shardedMap) Clear() {
 	for i := range m.shards {
-		m.shards[i].Range(func(k, _ any) bool {
-			m.shards[i].Delete(k)
-			return true
-		})
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
 	}
 }
 

@@ -115,9 +115,7 @@ func TestPlanCacheBuildsOncePerShape(t *testing.T) {
 }
 
 func planCacheLen() int {
-	n := 0
-	planCache.Range(func(_, _ any) bool { n++; return true })
-	return n
+	return planCache.Len()
 }
 
 // TestPlanCacheSpeedup pins the headline win: retrieving a warm cached

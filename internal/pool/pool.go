@@ -35,8 +35,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		failed atomic.Bool
 		wg     sync.WaitGroup
 
-		mu       sync.Mutex
+		mu sync.Mutex
+		//pegflow:guarded mu
 		firstIdx = -1
+		//pegflow:guarded mu
 		firstErr error
 	)
 	for w := 0; w < workers; w++ {
@@ -61,5 +63,11 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	// All workers are done, but take the lock anyway: the happens-before
+	// edge is wg.Wait, and the lock keeps the guarded-access discipline
+	// mechanical (guardfield checks it) at the cost of one uncontended
+	// lock per ForEach.
+	mu.Lock()
+	defer mu.Unlock()
 	return firstErr
 }

@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and fails the test if the
+// count has not settled back by the time the test (and its defers) is
+// done: a Run that returns while pool workers are still simulating, or
+// a gate that never hands its token back, shows up here. The settle
+// loop retries because worker goroutines unwind asynchronously.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		now := runtime.NumGoroutine()
+		for now > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			now = runtime.NumGoroutine()
+		}
+		if now > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before test, %d after settling\n%s", before, now, buf[:n])
+		}
+	})
+}

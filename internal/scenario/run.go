@@ -42,6 +42,7 @@ type RunOptions struct {
 	// concurrent requests share one bounded simulation pool. A gate that
 	// returns an error — the context canceled while waiting for capacity
 	// — aborts the run without executing the cell.
+	//pegflow:blocking
 	Gate func(ctx context.Context, run func()) error
 	// Cache, when set, serves cells addressed by (Fingerprint, index)
 	// without simulating them and stores fresh lines after simulation.
@@ -51,6 +52,7 @@ type RunOptions struct {
 	// first, then cells in grid order, then the footer. The server
 	// streams these to the client. An OnLine error aborts the run: no
 	// further lines are delivered or simulated and Run returns the error.
+	//pegflow:blocking
 	OnLine func(line []byte) error
 }
 

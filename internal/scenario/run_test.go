@@ -35,6 +35,7 @@ func joinLines(lines [][]byte) []byte {
 }
 
 func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	leakCheck(t)
 	one := joinLines(runLines(t, minimal, 1))
 	eight := joinLines(runLines(t, minimal, 8))
 	if !bytes.Equal(one, eight) {
@@ -81,6 +82,7 @@ func TestRunShape(t *testing.T) {
 }
 
 func TestRunStreamsInOrder(t *testing.T) {
+	leakCheck(t)
 	doc, err := Parse("run.json", []byte(minimal))
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +108,7 @@ func TestRunStreamsInOrder(t *testing.T) {
 }
 
 func TestRunGateWrapsEveryCell(t *testing.T) {
+	leakCheck(t)
 	doc, err := Parse("run.json", []byte(minimal))
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +144,7 @@ func TestRunGateWrapsEveryCell(t *testing.T) {
 // A gate that refuses capacity (the context canceled while queued)
 // aborts the run without simulating the cell.
 func TestRunGateErrorAbortsRun(t *testing.T) {
+	leakCheck(t)
 	doc, err := Parse("run.json", []byte(minimal))
 	if err != nil {
 		t.Fatal(err)
@@ -275,6 +279,7 @@ func TestRunServesFromCache(t *testing.T) {
 // A canceled context aborts the run instead of simulating unread cells
 // (the server passes the request context here).
 func TestRunHonorsContextCancellation(t *testing.T) {
+	leakCheck(t)
 	doc, err := Parse("run.json", []byte(minimal))
 	if err != nil {
 		t.Fatal(err)

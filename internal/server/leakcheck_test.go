@@ -1,0 +1,35 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and fails the test if the
+// count has not settled back once the test — including its deferred
+// httptest server close — is done. Call it first: t.Cleanup functions
+// run after the test's defers, so the check brackets the whole test.
+// The settle loop retries because handler goroutines unwind
+// asynchronously after Close returns.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Idle keep-alive connections pin client transport goroutines;
+		// drop them before judging.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(2 * time.Second)
+		now := runtime.NumGoroutine()
+		for now > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			now = runtime.NumGoroutine()
+		}
+		if now > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d before test, %d after settling\n%s", before, now, buf[:n])
+		}
+	})
+}

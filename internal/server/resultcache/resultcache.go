@@ -29,12 +29,20 @@ type entry struct {
 	prev, next *entry // LRU list: head = most recent, tail = eviction victim
 }
 
-// shard is one independently locked slice of the cache.
+// shard is one independently locked slice of the cache. The map, the
+// LRU list and the byte accounting form one invariant (every entry is
+// in both structures and counted exactly once), so they share a guard;
+// maxBytes is immutable after construction and the atomics are
+// lock-free telemetry.
 type shard struct {
-	mu       sync.Mutex
-	entries  map[key]*entry
-	head     *entry
-	tail     *entry
+	mu sync.Mutex
+	//pegflow:guarded mu
+	entries map[key]*entry
+	//pegflow:guarded mu
+	head *entry
+	//pegflow:guarded mu
+	tail *entry
+	//pegflow:guarded mu
 	bytes    int64
 	maxBytes int64
 
@@ -144,12 +152,12 @@ func (c *Cache) Put(fingerprint string, cell int, line []byte) {
 		return
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e, ok := s.entries[k]; ok {
 		// Concurrent requests for the same cold cell race to Put; the
 		// lines are byte-identical (deterministic cells), so refresh
 		// recency and keep the incumbent.
 		s.moveToFront(e)
-		s.mu.Unlock()
 		return
 	}
 	e := &entry{key: k, line: line}
@@ -161,7 +169,6 @@ func (c *Cache) Put(fingerprint string, cell int, line []byte) {
 	}
 	s.count.Store(int64(len(s.entries)))
 	s.curBytes.Store(s.bytes)
-	s.mu.Unlock()
 }
 
 // Stats aggregates the counters across shards.
@@ -185,6 +192,8 @@ func entrySize(k key, line []byte) int64 {
 }
 
 // moveToFront marks e most-recently-used. Caller holds s.mu.
+//
+//pegflow:holds mu
 func (s *shard) moveToFront(e *entry) {
 	if s.head == e {
 		return
@@ -194,6 +203,8 @@ func (s *shard) moveToFront(e *entry) {
 }
 
 // pushFront links e at the head. Caller holds s.mu.
+//
+//pegflow:holds mu
 func (s *shard) pushFront(e *entry) {
 	e.prev = nil
 	e.next = s.head
@@ -207,6 +218,8 @@ func (s *shard) pushFront(e *entry) {
 }
 
 // unlink removes e from the list. Caller holds s.mu.
+//
+//pegflow:holds mu
 func (s *shard) unlink(e *entry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -222,6 +235,8 @@ func (s *shard) unlink(e *entry) {
 }
 
 // evict drops e from the shard. Caller holds s.mu.
+//
+//pegflow:holds mu
 func (s *shard) evict(e *entry) {
 	s.unlink(e)
 	delete(s.entries, e.key)

@@ -37,9 +37,15 @@ type Options struct {
 
 // Server is the scenario HTTP service. Create one with New.
 type Server struct {
-	opts     Options
-	mux      *http.ServeMux
+	opts Options
+	mux  *http.ServeMux
+	// cellGate is the process-wide simulation semaphore (one token per
+	// worker); requests is the in-flight admission semaphore. Both are
+	// token pools: a send acquires a slot, a receive returns it, and
+	// pairpath checks that no path leaks one.
+	//pegflow:token
 	cellGate chan struct{}
+	//pegflow:token
 	requests chan struct{}
 	results  *resultcache.Cache
 	aborted  atomic.Uint64 // NDJSON streams cut short by client disconnect

@@ -119,6 +119,7 @@ func postWave(t *testing.T, ts *httptest.Server, n int) [][]byte {
 // result cache — zero plan-cache traffic, i.e. zero new simulations —
 // with NDJSON byte-identical to the cold wave.
 func TestConcurrentPostsAndWarmCache(t *testing.T) {
+	leakCheck(t)
 	core.ResetPlanCache()
 	ts := httptest.NewServer(New(Options{Workers: 4, MaxInFlight: 32}))
 	defer ts.Close()
@@ -213,6 +214,7 @@ func TestRepeatWaveWarmPlanCacheWithoutResultCache(t *testing.T) {
 // request that is admitted and RUNNING holds its slot, so the next POST
 // is rejected with 429 — deterministically, via the cell-start hook.
 func TestRequestThrottle(t *testing.T) {
+	leakCheck(t)
 	srv := New(Options{Workers: 1, MaxInFlight: 1, CacheBytes: -1})
 	hold := make(chan struct{})
 	started := make(chan struct{}, 16)
@@ -277,6 +279,7 @@ func postQuiet(ts *httptest.Server, path, body string) (int, []byte) {
 // only after the body is read and validated. Under the old admit-first
 // order this test deadlocks into a 429.
 func TestSlowUploadDoesNotHoldInFlightSlot(t *testing.T) {
+	leakCheck(t)
 	ts := httptest.NewServer(New(Options{Workers: 1, MaxInFlight: 1, CacheBytes: -1}))
 	defer ts.Close()
 
@@ -333,6 +336,7 @@ func TestOversizedUploadRejected(t *testing.T) {
 // concurrent live requests. Under the old code the canceled request's
 // queued cell acquires the freed token and simulates anyway.
 func TestCanceledRequestFreesCellGate(t *testing.T) {
+	leakCheck(t)
 	srv := New(Options{Workers: 1, MaxInFlight: 8, CacheBytes: -1})
 	hold := make(chan struct{})
 	var cellsRun atomic.Int32
@@ -410,6 +414,7 @@ func TestCanceledRequestFreesCellGate(t *testing.T) {
 // A client that disconnects mid-stream aborts the response and is
 // counted in healthz.
 func TestClientDisconnectCountsAbortedStream(t *testing.T) {
+	leakCheck(t)
 	srv := New(Options{Workers: 1, MaxInFlight: 4, CacheBytes: -1})
 	hold := make(chan struct{})
 	started := make(chan struct{}, 16)
