@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -36,6 +37,7 @@ type options struct {
 	repeatDocs  int
 	out         string
 	minSpeedup  float64
+	chaos       bool
 }
 
 func main() {
@@ -49,6 +51,8 @@ func main() {
 	fs.IntVar(&o.repeatDocs, "repeat-docs", 8, "distinct documents the warm and mixed phases repeat")
 	fs.StringVar(&o.out, "out", "BENCH_serve.json", "report output path (- for stdout)")
 	fs.Float64Var(&o.minSpeedup, "min-speedup", 0, "fail unless warm throughput >= this multiple of cold (0 = off)")
+	fs.BoolVar(&o.chaos, "chaos", false,
+		"inject malformed, oversized and slow-trickle bodies during every wave; fail on any 5xx or unhealthy server")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -79,15 +83,20 @@ func scenarioDoc(i int) string {
 
 // phaseReport is one wave's measurements.
 type phaseReport struct {
-	Name       string  `json:"name"`
-	Requests   int     `json:"requests"`
-	Errors     int     `json:"errors"`
-	Retried429 int     `json:"retried_429"`
-	ElapsedS   float64 `json:"elapsed_s"`
-	Throughput float64 `json:"requests_per_s"`
-	LatencyP50 float64 `json:"latency_ms_p50"`
-	LatencyP90 float64 `json:"latency_ms_p90"`
-	LatencyP99 float64 `json:"latency_ms_p99"`
+	Name       string `json:"name"`
+	Requests   int    `json:"requests"`
+	Errors     int    `json:"errors"`
+	Retried429 int    `json:"retried_429"`
+	// Chaos counters (present only with -chaos): requests injected and
+	// how many the server answered with a 5xx (want zero — malformed
+	// input must be rejected as a client error, never crash a handler).
+	ChaosRequests int     `json:"chaos_requests,omitempty"`
+	Chaos5xx      int     `json:"chaos_5xx,omitempty"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	Throughput    float64 `json:"requests_per_s"`
+	LatencyP50    float64 `json:"latency_ms_p50"`
+	LatencyP90    float64 `json:"latency_ms_p90"`
+	LatencyP99    float64 `json:"latency_ms_p99"`
 	// Serve-tier counter deltas across the phase.
 	ResultHits   uint64 `json:"result_hits"`
 	ResultMisses uint64 `json:"result_misses"`
@@ -166,12 +175,16 @@ func run(o *options) error {
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: warm/cold speedup %.1fx\n", rep.WarmSpeedup)
 
-	errs := 0
+	errs, chaos5xx := 0, 0
 	for _, p := range rep.Phases {
 		errs += p.Errors
+		chaos5xx += p.Chaos5xx
 	}
 	if errs > 0 {
 		return fmt.Errorf("%d requests failed", errs)
+	}
+	if chaos5xx > 0 {
+		return fmt.Errorf("%d chaos requests were answered with a 5xx", chaos5xx)
 	}
 	if o.minSpeedup > 0 && rep.WarmSpeedup < o.minSpeedup {
 		return fmt.Errorf("warm speedup %.2fx below required %.2fx", rep.WarmSpeedup, o.minSpeedup)
@@ -193,14 +206,20 @@ func runPhase(client *http.Client, baseURL, name string, doc func(int) string, o
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	work := make(chan int)
+	chaosStop := make(chan struct{})
+	chaosDone := make(chan [2]int, 1)
+	if o.chaos {
+		go func() { chaosDone <- chaosWave(client, baseURL, chaosStop) }()
+	}
 	start := time.Now()
 	for c := 0; c < o.concurrency; c++ {
 		wg.Add(1)
-		go func() {
+		go func(c int) {
 			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for i := range work {
 				t0 := time.Now()
-				retries, err := post(client, baseURL, doc(i))
+				retries, err := post(client, baseURL, doc(i), rng)
 				ms := float64(time.Since(t0)) / float64(time.Millisecond)
 				mu.Lock()
 				latencies[i] = ms
@@ -213,7 +232,7 @@ func runPhase(client *http.Client, baseURL, name string, doc func(int) string, o
 				}
 				mu.Unlock()
 			}
-		}()
+		}(c)
 	}
 	for i := 0; i < o.requests; i++ {
 		work <- i
@@ -221,24 +240,45 @@ func runPhase(client *http.Client, baseURL, name string, doc func(int) string, o
 	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var chaosRequests, chaos5xx int
+	if o.chaos {
+		close(chaosStop)
+		counts := <-chaosDone
+		chaosRequests, chaos5xx = counts[0], counts[1]
+	}
 
 	after, err := health(client, baseURL)
 	if err != nil {
 		return phaseReport{}, fmt.Errorf("%s: healthz after: %w", name, err)
 	}
+	if o.chaos {
+		// The server must shrug chaos off: still healthy, counters
+		// monotone (a reset would mean a handler restarted state).
+		if !after.OK {
+			return phaseReport{}, fmt.Errorf("%s: server unhealthy after chaos wave", name)
+		}
+		if after.Cache.PlanBuilds < before.Cache.PlanBuilds ||
+			after.AbortedStreams < before.AbortedStreams ||
+			after.AbortedCells < before.AbortedCells {
+			return phaseReport{}, fmt.Errorf("%s: healthz counters went backwards under chaos: %+v -> %+v",
+				name, before, after)
+		}
+	}
 
 	ps := stats.PercentilesOf(latencies, 50, 90, 99)
 	pr := phaseReport{
-		Name:       name,
-		Requests:   o.requests,
-		Errors:     errCount,
-		Retried429: retried,
-		ElapsedS:   elapsed.Seconds(),
-		Throughput: float64(o.requests) / elapsed.Seconds(),
-		LatencyP50: ps[0],
-		LatencyP90: ps[1],
-		LatencyP99: ps[2],
-		PlanBuilds: after.Cache.PlanBuilds - before.Cache.PlanBuilds,
+		Name:          name,
+		Requests:      o.requests,
+		Errors:        errCount,
+		Retried429:    retried,
+		ChaosRequests: chaosRequests,
+		Chaos5xx:      chaos5xx,
+		ElapsedS:      elapsed.Seconds(),
+		Throughput:    float64(o.requests) / elapsed.Seconds(),
+		LatencyP50:    ps[0],
+		LatencyP90:    ps[1],
+		LatencyP99:    ps[2],
+		PlanBuilds:    after.Cache.PlanBuilds - before.Cache.PlanBuilds,
 	}
 	if before.Results != nil && after.Results != nil {
 		pr.ResultHits = after.Results.Hits - before.Results.Hits
@@ -248,10 +288,23 @@ func runPhase(client *http.Client, baseURL, name string, doc func(int) string, o
 	return pr, nil
 }
 
+// backoff429 is the capped exponential backoff with full jitter before
+// the k-th 429 retry: uniform(0, min(cap, base·2^(k-1))). Full jitter
+// de-synchronizes the retrying clients, so a wave rejected together does
+// not come back together and get rejected again (a retry storm).
+func backoff429(rng *rand.Rand, attempt int) time.Duration {
+	const base, ceiling = 2 * time.Millisecond, 250 * time.Millisecond
+	window := base << uint(attempt-1)
+	if attempt > 16 || window <= 0 || window > ceiling {
+		window = ceiling
+	}
+	return time.Duration(rng.Int63n(int64(window)))
+}
+
 // post runs one scenario POST, retrying 429s (the loadgen deliberately
-// outnumbers the server's in-flight cap). It returns the number of 429
-// retries and the first hard error.
-func post(client *http.Client, baseURL, doc string) (int, error) {
+// outnumbers the server's in-flight cap) under capped full-jitter
+// backoff. It returns the number of 429 retries and the first hard error.
+func post(client *http.Client, baseURL, doc string, rng *rand.Rand) (int, error) {
 	retries := 0
 	for {
 		resp, err := client.Post(baseURL+"/v1/scenarios/run", "application/json", strings.NewReader(doc))
@@ -266,7 +319,7 @@ func post(client *http.Client, baseURL, doc string) (int, error) {
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests:
 			retries++
-			time.Sleep(time.Duration(1+retries) * time.Millisecond)
+			time.Sleep(backoff429(rng, retries))
 			continue
 		case resp.StatusCode != http.StatusOK:
 			return retries, fmt.Errorf("status %d: %s", resp.StatusCode, body)
@@ -275,6 +328,54 @@ func post(client *http.Client, baseURL, doc string) (int, error) {
 		}
 		return retries, nil
 	}
+}
+
+// chaosWave hammers the server with hostile bodies — malformed JSON,
+// oversized documents and slow-trickle uploads cut mid-body — until stop
+// closes. It returns {requests sent, 5xx responses}; every injected
+// request must be answered with a client error (or rejected at the
+// transport), never a server error.
+func chaosWave(client *http.Client, baseURL string, stop <-chan struct{}) [2]int {
+	oversized := strings.Repeat("x", server.MaxScenarioBytes+16)
+	var sent, served5xx int
+	for kind := 0; ; kind++ {
+		select {
+		case <-stop:
+			return [2]int{sent, served5xx}
+		default:
+		}
+		var code int
+		switch kind % 3 {
+		case 0: // syntactically broken document
+			code = chaosPost(client, baseURL, strings.NewReader(`{"version": 1, "name": `))
+		case 1: // over the MaxScenarioBytes cap
+			code = chaosPost(client, baseURL, strings.NewReader(oversized))
+		case 2: // slow trickle, then the client gives up mid-body
+			pr, pw := io.Pipe()
+			done := make(chan int, 1)
+			go func() { done <- chaosPost(client, baseURL, pr) }()
+			pw.Write([]byte("{"))
+			time.Sleep(5 * time.Millisecond)
+			pw.CloseWithError(io.ErrUnexpectedEOF)
+			code = <-done
+		}
+		sent++
+		if code >= 500 {
+			served5xx++
+		}
+	}
+}
+
+// chaosPost fires one hostile request and returns the status code, or 0
+// when the transport rejected it (an equally acceptable outcome).
+func chaosPost(client *http.Client, baseURL string, body io.Reader) int {
+	resp, err := client.Post(baseURL+"/v1/scenarios/run", "application/json", body)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
 }
 
 func health(client *http.Client, baseURL string) (server.HealthResponse, error) {

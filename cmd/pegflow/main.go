@@ -20,11 +20,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"pegflow/internal/core"
 	"pegflow/internal/dax"
@@ -652,10 +658,12 @@ func cmdScenarioCheck(args []string) error {
 // ---- serve ----
 
 type serveOpts struct {
-	addr        string
-	workers     int
-	maxInFlight int
-	cacheMB     int
+	addr           string
+	workers        int
+	maxInFlight    int
+	cacheMB        int
+	drainTimeout   time.Duration
+	requestTimeout time.Duration
 }
 
 func serveFlags() (*flag.FlagSet, *serveOpts) {
@@ -666,6 +674,10 @@ func serveFlags() (*flag.FlagSet, *serveOpts) {
 	fs.IntVar(&o.maxInFlight, "max-inflight", 0, "max concurrent scenario runs before 429 (0 = 2x workers)")
 	fs.IntVar(&o.cacheMB, "cache-mb", 64,
 		"content-addressed cell-result cache budget in MB (<= 0 disables the cache)")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second,
+		"on SIGTERM/SIGINT, stop accepting (new requests get 503) and give in-flight streams this long to finish")
+	fs.DurationVar(&o.requestTimeout, "request-timeout", 0,
+		"wall-time budget per scenario run; an exceeded run stops simulating and ends with an error line (0 = no limit)")
 	return fs, o
 }
 
@@ -674,17 +686,62 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	fmt.Fprintf(os.Stderr, "pegflow serve: listening on %s (workers %d)\n", ln.Addr(), o.workers)
+	return serveOn(ln, o, sigs)
+}
+
+// serveOn runs the scenario service on the listener until it fails or a
+// signal arrives; on a signal it drains gracefully — the handler refuses
+// new work with 503 + Retry-After, http.Server.Shutdown stops accepting
+// and waits for in-flight streams — and returns nil so the process exits
+// 0 on a clean drain. Split from cmdServe so tests can drive it with a
+// fake signal channel and an ephemeral listener.
+func serveOn(ln net.Listener, o *serveOpts, sigs <-chan os.Signal) error {
 	cacheBytes := int64(-1)
 	if o.cacheMB > 0 {
 		cacheBytes = int64(o.cacheMB) << 20
 	}
 	srv := server.New(server.Options{
-		Workers:     o.workers,
-		MaxInFlight: o.maxInFlight,
-		CacheBytes:  cacheBytes,
+		Workers:        o.workers,
+		MaxInFlight:    o.maxInFlight,
+		CacheBytes:     cacheBytes,
+		RequestTimeout: o.requestTimeout,
 	})
-	fmt.Fprintf(os.Stderr, "pegflow serve: listening on %s (workers %d)\n", o.addr, o.workers)
-	return http.ListenAndServe(o.addr, srv)
+	// A configured server, not http.ListenAndServe: without a read-header
+	// timeout one client holding a half-open connection pins a goroutine
+	// forever, and Shutdown needs idle connections reaped.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "pegflow serve: %v: draining (timeout %s)\n", sig, o.drainTimeout)
+		srv.StartDraining()
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			hs.Close()
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "pegflow serve: drained, exiting")
+		return nil
+	}
 }
 
 // ---- statistics / analyze ----

@@ -41,6 +41,20 @@ func TestGoldenScenarioFailoverStress(t *testing.T) {
 	}
 }
 
+// TestGoldenScenarioSiteChurn is the fault-injection acceptance test:
+// outage + recovery, eviction storm, dispatch blackout and capacity
+// shrink/grow all scheduled as deterministic DES events, with retry
+// backoff jitter from the run's seeded RNG — so the NDJSON stream stays
+// byte-identical across worker counts and is pinned by a golden fixture.
+func TestGoldenScenarioSiteChurn(t *testing.T) {
+	path := scenarioPath("site-churn.json")
+	one := captureStdout(t, cmdScenarioRun, []string{"-workers", "1", path})
+	checkGolden(t, "scenario_site_churn", one)
+	if many := captureStdout(t, cmdScenarioRun, []string{"-workers", "8", path}); many != one {
+		t.Errorf("site-churn scenario output depends on -workers:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", one, many)
+	}
+}
+
 func TestGoldenScenarioCheck(t *testing.T) {
 	out := captureStdout(t, cmdScenarioCheck, []string{scenarioPath("paper.json")})
 	checkGolden(t, "scenario_check_paper", out)

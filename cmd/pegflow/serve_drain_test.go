@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const drainScenario = `{
+  "version": 1,
+  "name": "drain-test",
+  "sites": [{"preset": "sandhills", "slots": 16}],
+  "workload": {
+    "params": {"num_clusters": 400, "max_cluster_size": 60, "size_exponent": 0.5, "mean_read_len": 800},
+    "n": [4, 8, 16, 24],
+    "seeds": [3, 5]
+  },
+  "outputs": {"fields": ["makespan_s", "success"]}
+}`
+
+// TestServeDrainsOnSignal drives serveOn the way cmdServe does, minus the
+// real process signal: a stream is admitted and mid-flight when SIGTERM
+// arrives, the server must finish that stream, refuse new work with 503,
+// and return nil (the process would exit 0) within the drain timeout.
+func TestServeDrainsOnSignal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &serveOpts{
+		workers:      2,
+		maxInFlight:  4,
+		cacheMB:      0,
+		drainTimeout: 30 * time.Second,
+	}
+	sigs := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serveOn(ln, o, sigs) }()
+	base := "http://" + ln.Addr().String()
+
+	// Open a streaming run and read its header line, so the request is
+	// admitted and producing output when the signal lands.
+	resp, err := http.Post(base+"/v1/scenarios/run", "application/json",
+		strings.NewReader(drainScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream ended before the header: %v", sc.Err())
+	}
+	header := sc.Text()
+	if !strings.Contains(header, `"cells":8`) {
+		t.Fatalf("unexpected header: %s", header)
+	}
+
+	sigs <- syscall.SIGTERM
+
+	// New work is refused while the stream drains. The listener may
+	// already be closed by Shutdown; connection refused is an equally
+	// correct refusal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r2, err := http.Post(base+"/v1/scenarios/run", "application/json",
+			strings.NewReader(drainScenario))
+		if err != nil {
+			break // listener closed
+		}
+		code := r2.StatusCode
+		ra := r2.Header.Get("Retry-After")
+		r2.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			if ra == "" {
+				t.Error("503 during drain has no Retry-After header")
+			}
+			break
+		}
+		// The signal may not have been observed yet; retry briefly.
+		if time.Now().After(deadline) {
+			t.Fatalf("POST during drain = %d, want 503 or refused connection", code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The admitted stream must run to completion: 8 cell lines + footer.
+	var lines int
+	var last string
+	for sc.Scan() {
+		lines++
+		last = sc.Text()
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream cut during drain after %d lines: %v", lines, err)
+	}
+	if lines != 9 || !strings.Contains(last, `"done":true`) {
+		t.Errorf("drained stream delivered %d lines, last %q; want 9 ending in the footer", lines, last)
+	}
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serveOn returned %v after drain, want nil (exit 0)", err)
+		}
+	case <-time.After(o.drainTimeout):
+		t.Fatal(fmt.Sprintf("serveOn did not return within the %s drain timeout", o.drainTimeout))
+	}
+}

@@ -25,6 +25,7 @@ var OutputPathPackages = []string{
 var SimBoundaryPackages = []string{
 	"pegflow/internal/sim/...",
 	"pegflow/internal/engine",
+	"pegflow/internal/fault",
 	"pegflow/internal/planner",
 	"pegflow/internal/ensemble",
 }

@@ -12,10 +12,13 @@ import (
 
 	"pegflow/internal/catalog"
 	"pegflow/internal/dax"
+	"pegflow/internal/engine"
 	"pegflow/internal/ensemble"
+	"pegflow/internal/fault"
 	"pegflow/internal/planner"
 	"pegflow/internal/pool"
 	"pegflow/internal/sim/platform"
+	"pegflow/internal/sim/rng"
 	"pegflow/internal/stats"
 	"pegflow/internal/workflow"
 )
@@ -53,6 +56,17 @@ type EnsembleExperiment struct {
 	// MemberWorkload supplies the dataset of member i; nil derives a
 	// reduced-scale synthetic workload from Seed+i.
 	MemberWorkload func(i int) workflow.Workload
+	// Faults, when set, is the compiled fault script installed on the
+	// platform pool before execution (site outages, capacity steps,
+	// eviction storms, dispatch blackouts).
+	Faults *fault.Script
+	// BackoffBase, when positive, gives every member retry-backoff with
+	// full jitter: the k-th retry waits uniform(0, min(BackoffCap,
+	// BackoffBase*2^(k-1))) virtual seconds. BackoffCap <= 0 leaves the
+	// window uncapped. Jitter streams derive from Seed and the member
+	// name, so runs reproduce exactly.
+	BackoffBase float64
+	BackoffCap  float64
 }
 
 // memberWorkload returns the dataset for member i.
@@ -178,8 +192,17 @@ func (e *EnsembleExperiment) Run() (*ensemble.Result, *stats.EnsembleReport, err
 	if err != nil {
 		return nil, nil, err
 	}
+	if e.BackoffBase > 0 {
+		for i := range specs {
+			specs[i].Backoff = engine.ExpBackoff(e.BackoffBase, e.BackoffCap,
+				rng.New(e.Seed).Derive("backoff/"+specs[i].Name))
+		}
+	}
 	p, err := platform.NewMultiExecutor(e.Platforms)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.InstallFaults(e.Faults); err != nil {
 		return nil, nil, err
 	}
 	res, err := ensemble.Run(p, specs, ensemble.Options{MaxInFlight: e.MaxInFlight})

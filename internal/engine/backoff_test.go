@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"testing"
+
+	"pegflow/internal/dax"
+	"pegflow/internal/planner"
+	"pegflow/internal/sim/rng"
+)
+
+// delayingExecutor wraps fakeExecutor with the DelayedSubmitter
+// capability, recording every backoff delay and applying it to the
+// fake clock.
+type delayingExecutor struct {
+	*fakeExecutor
+	delays []float64
+}
+
+func (d *delayingExecutor) SubmitAfter(job *planner.Job, attempt int, delay float64) {
+	d.delays = append(d.delays, delay)
+	d.now += delay
+	d.Submit(job, attempt)
+}
+
+func singleJobPlan(t *testing.T) *planner.Plan {
+	t.Helper()
+	w := dax.New("one")
+	w.NewJob("J", "t").SetProfile("pegasus", "runtime", "10")
+	return makePlan(t, w)
+}
+
+func TestExpBackoffWindowsAndCap(t *testing.T) {
+	s := rng.New(7).Derive("backoff")
+	policy := ExpBackoff(10, 40, s)
+	windows := []float64{10, 20, 40, 40, 40} // base*2^(k-1), capped at 40
+	for attempt := 1; attempt <= len(windows); attempt++ {
+		for i := 0; i < 200; i++ {
+			d := policy(attempt)
+			if d < 0 || d >= windows[attempt-1] {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, windows[attempt-1])
+			}
+		}
+	}
+	// Uncapped policy keeps doubling.
+	free := ExpBackoff(1, 0, rng.New(7))
+	seenBig := false
+	for i := 0; i < 100; i++ {
+		if free(8) > 64 {
+			seenBig = true
+		}
+	}
+	if !seenBig {
+		t.Error("uncapped attempt-8 window never exceeded 64 (should reach 128)")
+	}
+}
+
+func TestExpBackoffDeterministic(t *testing.T) {
+	draw := func() []float64 {
+		p := ExpBackoff(5, 0, rng.New(42).Derive("backoff"))
+		out := make([]float64, 6)
+		for i := range out {
+			out[i] = p(i + 1)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBackoffDelaysRetriesThroughDelayedSubmitter(t *testing.T) {
+	p := singleJobPlan(t)
+	ex := &delayingExecutor{fakeExecutor: newFakeExecutor()}
+	ex.failures["J"] = 2
+	res, err := Run(p, ex, Options{
+		RetryLimit: 3,
+		Backoff:    ExpBackoff(10, 0, rng.New(1).Derive("backoff")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success {
+		t.Fatalf("run failed: %+v", res.PermanentlyFailed)
+	}
+	if res.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", res.Retries)
+	}
+	if res.Backoffs != 2 || len(ex.delays) != 2 {
+		t.Fatalf("Backoffs = %d, executor saw %d delays; want 2 and 2",
+			res.Backoffs, len(ex.delays))
+	}
+	sum := 0.0
+	for _, d := range ex.delays {
+		sum += d
+	}
+	if res.BackoffSeconds != sum {
+		t.Errorf("BackoffSeconds = %v, want %v (sum of applied delays)",
+			res.BackoffSeconds, sum)
+	}
+	if res.BackoffSeconds <= 0 {
+		t.Error("BackoffSeconds = 0; jitter draws of a 10 s base should be positive")
+	}
+}
+
+func TestBackoffFallsBackWithoutDelayedSubmitter(t *testing.T) {
+	// The plain fake executor has no SubmitAfter: retries must still run
+	// (immediately) and the accounting must still record the drawn delays.
+	p := singleJobPlan(t)
+	ex := newFakeExecutor()
+	ex.failures["J"] = 1
+	res, err := Run(p, ex, Options{
+		RetryLimit: 2,
+		Backoff:    ExpBackoff(10, 0, rng.New(1).Derive("backoff")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || res.Retries != 1 {
+		t.Fatalf("success=%v retries=%d, want success with 1 retry", res.Success, res.Retries)
+	}
+	if res.Backoffs != 1 || res.BackoffSeconds <= 0 {
+		t.Errorf("Backoffs=%d BackoffSeconds=%v, want accounted backoff", res.Backoffs, res.BackoffSeconds)
+	}
+}
+
+func TestBackoffComposesWithFailover(t *testing.T) {
+	// A retry policy that re-targets plus a backoff policy: the retry must
+	// both count as a failover and be delayed.
+	p := singleJobPlan(t)
+	ex := &delayingExecutor{fakeExecutor: newFakeExecutor()}
+	ex.failures["J"] = 1
+	ex.evict["J"] = true
+	retargeted := 0
+	res, err := Run(p, ex, Options{
+		RetryLimit: 2,
+		Retry: func(job *planner.Job, attempt int, lastSite string, evicted bool) *planner.Job {
+			retargeted++
+			nj := *job
+			nj.Site = "elsewhere"
+			return &nj
+		},
+		Backoff: ExpBackoff(10, 0, rng.New(3).Derive("backoff")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Success || retargeted != 1 {
+		t.Fatalf("success=%v retargeted=%d", res.Success, retargeted)
+	}
+	if res.Failovers != 1 || res.Backoffs != 1 {
+		t.Errorf("Failovers=%d Backoffs=%d, want 1 and 1", res.Failovers, res.Backoffs)
+	}
+	if len(ex.delays) != 1 || ex.delays[0] != res.BackoffSeconds {
+		t.Errorf("delays=%v BackoffSeconds=%v, want one applied delay", ex.delays, res.BackoffSeconds)
+	}
+}

@@ -81,6 +81,12 @@ type Options struct {
 	// Retry, when set, is consulted before every retry and may re-target
 	// the job (cross-site failover). Nil keeps same-site retries.
 	Retry RetryPolicy
+	// Backoff, when set, delays every retry by the returned number of
+	// seconds (of executor time). The delay applies after Retry has
+	// re-targeted the job, so failover and backoff compose. It takes
+	// effect through the executor's DelayedSubmitter capability; without
+	// one the delay is accounted but the retry submits immediately.
+	Backoff BackoffPolicy
 }
 
 // Result summarizes one engine run.
@@ -104,6 +110,10 @@ type Result struct {
 	// Failovers counts retries the retry policy re-targeted to a
 	// different site (a subset of Retries).
 	Failovers int
+	// Backoffs counts retries that were delayed by the backoff policy,
+	// and BackoffSeconds sums those delays (executor-time seconds).
+	Backoffs       int
+	BackoffSeconds float64
 
 	// rescue is the sorted rescue workflow, computed once at end-of-run
 	// so RescueWorkflow is a copy, not a re-sort, per call.
@@ -124,9 +134,10 @@ func (r *Result) RescueWorkflow() []string {
 
 // readyItem is one entry of the ready queue, stored by value.
 type readyItem struct {
-	job *planner.Job
-	pos int32 // dense index position of the job
-	seq int32
+	job   *planner.Job
+	pos   int32 // dense index position of the job
+	seq   int32
+	delay float64 // backoff before submission; 0 submits immediately
 }
 
 // readyQueue orders ready jobs by priority (higher first), breaking ties
@@ -149,8 +160,8 @@ func (q *readyQueue) less(a, b readyItem) bool {
 	return a.seq < b.seq
 }
 
-func (q *readyQueue) push(job *planner.Job, pos int32) {
-	q.items = append(q.items, readyItem{job: job, pos: pos, seq: q.seq})
+func (q *readyQueue) push(job *planner.Job, pos int32, delay float64) {
+	q.items = append(q.items, readyItem{job: job, pos: pos, seq: q.seq, delay: delay})
 	q.seq++
 	i := len(q.items) - 1
 	for i > 0 {
@@ -213,16 +224,21 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 	ready := &readyQueue{}
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			ready.push(plan.JobAt(int32(i)), int32(i))
+			ready.push(plan.JobAt(int32(i)), int32(i), 0)
 		}
 	}
 
+	delayed, _ := ex.(DelayedSubmitter)
 	inflight := 0
 	submit := func() {
 		for len(ready.items) > 0 && (opts.MaxActive == 0 || inflight < opts.MaxActive) {
 			it := ready.pop()
 			attempts[it.pos]++
-			ex.Submit(it.job, attempts[it.pos])
+			if it.delay > 0 && delayed != nil {
+				delayed.SubmitAfter(it.job, attempts[it.pos], it.delay)
+			} else {
+				ex.Submit(it.job, attempts[it.pos])
+			}
 			inflight++
 		}
 	}
@@ -254,7 +270,7 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 			for _, child := range idx.Children[pos] {
 				indeg[child]--
 				if indeg[child] == 0 {
-					ready.push(plan.JobAt(child), child)
+					ready.push(plan.JobAt(child), child, 0)
 				}
 			}
 		case EventFailed, EventEvicted:
@@ -287,7 +303,16 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 						job = nj
 					}
 				}
-				ready.push(job, pos)
+				var delay float64
+				if opts.Backoff != nil {
+					// Drawn here, in event order, so the jitter sequence is
+					// deterministic for a given seed regardless of executor.
+					if delay = opts.Backoff(attempts[pos]); delay > 0 {
+						res.Backoffs++
+						res.BackoffSeconds += delay
+					}
+				}
+				ready.push(job, pos, delay)
 			} else {
 				res.PermanentlyFailed = append(res.PermanentlyFailed, ev.JobID)
 			}

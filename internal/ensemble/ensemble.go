@@ -31,6 +31,10 @@ type Spec struct {
 	// failover). Each member needs its own policy instance: the policy
 	// carries adaptive per-run state.
 	Retry engine.RetryPolicy
+	// Backoff, when set, delays this member's retries (virtual-time
+	// exponential backoff). Each member needs its own policy instance:
+	// the jitter stream is stateful.
+	Backoff engine.BackoffPolicy
 }
 
 // Options tunes the ensemble driver.
@@ -63,6 +67,11 @@ type SiteUsage struct {
 	// BusySlotSeconds and CapacitySlotSeconds integrate occupancy and
 	// capacity over virtual time.
 	BusySlotSeconds, CapacitySlotSeconds float64
+	// Outages counts fault-imposed full outages of the site, and
+	// DowntimeSeconds integrates them over virtual time (an outage still
+	// open at end of run is counted up to the last event).
+	Outages         int
+	DowntimeSeconds float64
 }
 
 // Result is the outcome of one ensemble run.
@@ -90,7 +99,10 @@ func (r *Result) Report(policy string) *stats.EnsembleReport {
 			MaxBusySlots:    s.MaxBusySlots,
 			BusySlotSeconds: s.BusySlotSeconds,
 			Utilization:     util,
+			Outages:         s.Outages,
+			DowntimeSeconds: s.DowntimeSeconds,
 		})
+		rep.TotalOutages += s.Outages
 	}
 	var sum float64
 	for _, w := range r.Workflows {
@@ -105,11 +117,13 @@ func (r *Result) Report(policy string) *stats.EnsembleReport {
 			Retries:   res.Retries,
 			Evictions: res.Evictions,
 			Failovers: res.Failovers,
+			Backoffs:  res.Backoffs,
 		})
 		sum += res.Makespan
 		rep.TotalRetries += res.Retries
 		rep.TotalEvictions += res.Evictions
 		rep.TotalFailovers += res.Failovers
+		rep.TotalBackoffs += res.Backoffs
 	}
 	if len(r.Workflows) > 0 {
 		rep.MeanWorkflowMakespan = sum / float64(len(r.Workflows))
@@ -268,6 +282,19 @@ type facade struct {
 
 func (f *facade) Submit(job *planner.Job, attempt int) { f.d.submit(f.wf, job, attempt) }
 
+// SubmitAfter implements engine.DelayedSubmitter: the re-submission is
+// scheduled on the pool's virtual clock and re-enters the driver's hold
+// queue when it fires, so backoff delays and the global in-flight
+// throttle compose. Safe under the hand-off protocol: the callback runs
+// inside the driver's Step loop.
+func (f *facade) SubmitAfter(job *planner.Job, attempt int, delay float64) {
+	if delay <= 0 {
+		f.Submit(job, attempt)
+		return
+	}
+	f.d.pool.After(delay, func() { f.d.submit(f.wf, job, attempt) })
+}
+
 func (f *facade) Next() engine.Event {
 	f.d.control <- ctrl{wf: f.wf}
 	return <-f.d.mailbox[f.wf]
@@ -348,6 +375,7 @@ func Run(p *platform.MultiExecutor, specs []Spec, opts Options) (*Result, error)
 				RetryLimit: specs[w].RetryLimit,
 				MaxActive:  specs[w].MaxActive,
 				Retry:      specs[w].Retry,
+				Backoff:    specs[w].Backoff,
 			})
 			d.control <- ctrl{wf: w, finished: true, res: res, err: err}
 		}()
@@ -404,6 +432,8 @@ func Run(p *platform.MultiExecutor, specs []Spec, opts Options) (*Result, error)
 			MaxBusySlots:        site.MaxBusySlots(),
 			BusySlotSeconds:     site.BusySlotSeconds(),
 			CapacitySlotSeconds: site.CapacitySlotSeconds(),
+			Outages:             site.Outages(),
+			DowntimeSeconds:     site.DowntimeSeconds(),
 		})
 	}
 	return out, nil

@@ -1,0 +1,8 @@
+// Package fault compiles declarative fault scripts — timed site outages,
+// capacity steps, correlated eviction storms, and dispatch blackouts —
+// into per-site timelines that the simulated platform schedules as
+// discrete events. Compilation is pure and deterministic: the same spec
+// list always yields the same schedule, and all randomness (which slots a
+// storm kills, when a storm-era eviction fires) is drawn downstream from
+// the run's seeded rng streams, never from this package.
+package fault

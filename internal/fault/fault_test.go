@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func intp(v int) *int { return &v }
+
+func TestCompileEmpty(t *testing.T) {
+	s, err := Compile(nil)
+	if err != nil || s != nil {
+		t.Fatalf("Compile(nil) = %v, %v; want nil, nil", s, err)
+	}
+	// A nil script answers Site calls harmlessly.
+	if s.Site("osg") != nil {
+		t.Fatal("nil script returned a timeline")
+	}
+}
+
+func TestCompileOutage(t *testing.T) {
+	s, err := Compile([]Spec{{Type: TypeOutage, Site: "osg", At: 100, Duration: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Site("osg")
+	if tl == nil {
+		t.Fatal("no timeline for osg")
+	}
+	if len(tl.Steps) != 2 || tl.Steps[0] != (CapacityStep{At: 100, Limit: 0}) ||
+		tl.Steps[1] != (CapacityStep{At: 150, Limit: NoLimit}) {
+		t.Fatalf("steps = %+v", tl.Steps)
+	}
+	if len(tl.Preempts) != 1 || tl.Preempts[0] != (Preempt{At: 100, Fraction: 1}) {
+		t.Fatalf("preempts = %+v", tl.Preempts)
+	}
+}
+
+func TestCompileDrainOutageHasNoPreempt(t *testing.T) {
+	s, err := Compile([]Spec{{Type: TypeOutage, Site: "osg", At: 10, Duration: 5, Profile: ProfileDrain}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Site("osg").Preempts; len(got) != 0 {
+		t.Fatalf("drain outage produced preempts: %+v", got)
+	}
+}
+
+func TestCompileSortsAndGroups(t *testing.T) {
+	s, err := Compile([]Spec{
+		{Type: TypeCapacity, Site: "osg", At: 300, Slots: intp(4)},
+		{Type: TypeCapacity, Site: "osg", At: 100, Slots: intp(2)},
+		{Type: TypeBlackout, Site: "cloud", At: 5, Duration: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sites(); len(got) != 2 || got[0] != "cloud" || got[1] != "osg" {
+		t.Fatalf("Sites() = %v", got)
+	}
+	steps := s.Site("osg").Steps
+	if steps[0].At != 100 || steps[1].At != 300 {
+		t.Fatalf("steps unsorted: %+v", steps)
+	}
+	if s.Site("missing") != nil {
+		t.Fatal("timeline for undeclared site")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		spec  Spec
+		field string
+	}{
+		{"no type", Spec{Site: "a", At: 0}, "type"},
+		{"bad type", Spec{Type: "meteor", Site: "a"}, "type"},
+		{"no site", Spec{Type: TypeBlackout, At: 0, Duration: 1}, "site"},
+		{"negative at", Spec{Type: TypeBlackout, Site: "a", At: -1, Duration: 1}, "at"},
+		{"zero duration outage", Spec{Type: TypeOutage, Site: "a", At: 0}, "duration"},
+		{"capacity without slots", Spec{Type: TypeCapacity, Site: "a"}, "slots"},
+		{"capacity with duration", Spec{Type: TypeCapacity, Site: "a", Duration: 5, Slots: intp(1)}, "duration"},
+		{"negative slots", Spec{Type: TypeCapacity, Site: "a", Slots: intp(-1)}, "slots"},
+		{"profile on storm", Spec{Type: TypeStorm, Site: "a", Duration: 1, Profile: ProfileDrain}, "profile"},
+		{"bad profile", Spec{Type: TypeOutage, Site: "a", Duration: 1, Profile: "explode"}, "profile"},
+		{"kill fraction over 1", Spec{Type: TypeStorm, Site: "a", Duration: 1, KillFraction: 1.5}, "kill_fraction"},
+		{"rate on outage", Spec{Type: TypeOutage, Site: "a", Duration: 1, Rate: 0.5}, "rate"},
+		{"multiplier on blackout", Spec{Type: TypeBlackout, Site: "a", Duration: 1, Multiplier: 2}, "multiplier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := tc.spec.Validate()
+			if len(errs) == 0 {
+				t.Fatal("expected a validation error")
+			}
+			found := false
+			for _, e := range errs {
+				if e.Field == tc.field {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no error on field %q, got %+v", tc.field, errs)
+			}
+		})
+	}
+}
+
+func TestCompileReportsIndexedError(t *testing.T) {
+	_, err := Compile([]Spec{
+		{Type: TypeBlackout, Site: "a", At: 0, Duration: 1},
+		{Type: TypeOutage, Site: "a", At: 0},
+	})
+	if err == nil || !strings.Contains(err.Error(), "faults[1].duration") {
+		t.Fatalf("err = %v; want faults[1].duration mention", err)
+	}
+}
+
+func TestHazardAtComposesWindows(t *testing.T) {
+	tl := &Timeline{Hazards: []HazardWindow{
+		{Start: 10, End: 20, Multiplier: 3, Rate: 0.1},
+		{Start: 15, End: 30, Multiplier: 2},
+	}}
+	if got := tl.HazardAt(0.5, 5); got != 0.5 {
+		t.Fatalf("outside windows: %v", got)
+	}
+	if got := tl.HazardAt(0.5, 12); got != 0.5*3+0.1 {
+		t.Fatalf("first window: %v", got)
+	}
+	if got := tl.HazardAt(0.5, 17); got != 0.5*3*2+0.1 {
+		t.Fatalf("overlap: %v", got)
+	}
+	if got := tl.HazardAt(0.5, 25); got != 0.5*2 {
+		t.Fatalf("second window: %v", got)
+	}
+	// End is exclusive.
+	if got := tl.HazardAt(0.5, 30); got != 0.5 {
+		t.Fatalf("at end: %v", got)
+	}
+}
+
+func TestHazardBreakpoints(t *testing.T) {
+	tl := &Timeline{Hazards: []HazardWindow{
+		{Start: 10, End: 20, Multiplier: 2},
+		{Start: 15, End: 40, Multiplier: 2},
+	}}
+	got := tl.HazardBreakpoints(nil, 12, 35)
+	want := []float64{15, 20}
+	if len(got) != len(want) {
+		t.Fatalf("breakpoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("breakpoints = %v, want %v", got, want)
+		}
+	}
+	if got := tl.HazardBreakpoints(nil, 0, 5); len(got) != 0 {
+		t.Fatalf("no-overlap breakpoints = %v", got)
+	}
+}
+
+func TestDelayThroughBlackouts(t *testing.T) {
+	tl := &Timeline{Blackouts: []Window{
+		{Start: 10, End: 20},
+		{Start: 20, End: 25},
+		{Start: 40, End: 50},
+	}}
+	if got := tl.DelayThroughBlackouts(5); got != 5 {
+		t.Fatalf("before windows: %v", got)
+	}
+	// Lands in the first window, cascades through the adjacent one.
+	if got := tl.DelayThroughBlackouts(12); got != 25 {
+		t.Fatalf("cascade: %v", got)
+	}
+	if got := tl.DelayThroughBlackouts(25); got != 25 {
+		t.Fatalf("at exclusive end: %v", got)
+	}
+	if got := tl.DelayThroughBlackouts(45); got != 50 {
+		t.Fatalf("last window: %v", got)
+	}
+}
+
+func TestStormDefaultsMultiplierToOne(t *testing.T) {
+	s, err := Compile([]Spec{{Type: TypeStorm, Site: "a", At: 0, Duration: 10, Rate: 0.2, KillFraction: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := s.Site("a")
+	if tl.Hazards[0].Multiplier != 1 || tl.Hazards[0].Rate != 0.2 {
+		t.Fatalf("hazard = %+v", tl.Hazards[0])
+	}
+	if len(tl.Preempts) != 1 || tl.Preempts[0].Fraction != 0.5 {
+		t.Fatalf("preempts = %+v", tl.Preempts)
+	}
+}

@@ -261,7 +261,9 @@ func (c *Compiled) buildCatalogs() (planner.Catalogs, error) {
 // (slot overrides excepted: the plan-cache key includes them) and no
 // ensemble, failover or site policy.
 func (c *Compiled) experimentSite(cell Cell) (string, bool) {
-	if c.Doc.Ensemble != nil || len(cell.SiteSet) != 1 || cell.Failover {
+	if c.Doc.Ensemble != nil || len(cell.SiteSet) != 1 || cell.Failover ||
+		len(c.Doc.Faults) > 0 || c.Doc.RetryBackoff != nil {
+		// Faults and backoff only wire through EnsembleExperiment.
 		return "", false
 	}
 	s := c.byName[cell.SiteSet[0]]

@@ -4,10 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"sync"
 
 	"pegflow/internal/core"
+	"pegflow/internal/fault"
 	"pegflow/internal/kickstart"
 	"pegflow/internal/planner"
 	"pegflow/internal/pool"
@@ -54,6 +56,23 @@ type RunOptions struct {
 	// further lines are delivered or simulated and Run returns the error.
 	//pegflow:blocking
 	OnLine func(line []byte) error
+}
+
+// CellPanicError reports a cell whose simulation panicked. Run converts
+// the panic into an error instead of crashing the process, so one
+// poisoned cell cannot take down a server streaming many requests; the
+// server unwraps it with errors.As to emit a structured error line.
+type CellPanicError struct {
+	// Cell is the panicking cell's grid index.
+	Cell int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
 }
 
 // Header is the first NDJSON line of a scenario run.
@@ -108,7 +127,16 @@ func (c *Compiled) Run(opts RunOptions) ([][]byte, error) {
 
 	pending := make(map[int][]byte, len(c.Cells))
 	next := 0
-	err = pool.ForEach(opts.Workers, len(c.Cells), func(i int) error {
+	err = pool.ForEach(opts.Workers, len(c.Cells), func(i int) (retErr error) {
+		// One poisoned cell must not take down the process (a server may
+		// be streaming many other requests): convert the panic into a
+		// CellPanicError carrying the cell index and stack.
+		defer func() {
+			if r := recover(); r != nil {
+				retErr = fmt.Errorf("scenario: cell %d: %w",
+					i, &CellPanicError{Cell: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return fmt.Errorf("scenario: canceled before cell %d: %w", i, ctxErr)
 		}
@@ -181,10 +209,12 @@ func (c *Compiled) cellLine(cell Cell) ([]byte, error) {
 
 // cellMetrics is the unfiltered metric set of one cell.
 type cellMetrics struct {
-	makespan, meanWorkflowMakespan, cumulativeKickstart float64
-	jobs, attempts, retries, evictions, failovers       int
-	success                                             bool
-	logs                                                []*kickstart.Log
+	makespan, meanWorkflowMakespan, cumulativeKickstart     float64
+	jobs, attempts, retries, evictions, failovers, backoffs int
+	outages                                                 int
+	downtimeSeconds                                         float64
+	success                                                 bool
+	logs                                                    []*kickstart.Log
 }
 
 // runCell executes one cell over the core facade and assembles its row.
@@ -227,6 +257,9 @@ func (c *Compiled) runCell(cell Cell) (map[string]any, error) {
 		"retries":                  m.retries,
 		"evictions":                m.evictions,
 		"failovers":                m.failovers,
+		"backoffs":                 m.backoffs,
+		"outages":                  m.outages,
+		"downtime_s":               m.downtimeSeconds,
 		"success":                  m.success,
 	}
 	for _, f := range c.Doc.Outputs.Fields {
@@ -332,6 +365,29 @@ func (c *Compiled) runEnsembleCell(cell Cell) (cellMetrics, error) {
 	if c.Doc.Ensemble != nil {
 		exp.MaxInFlight = c.Doc.Ensemble.MaxInFlight
 	}
+	if rb := c.Doc.RetryBackoff; rb != nil {
+		exp.BackoffBase = rb.BaseSeconds
+		exp.BackoffCap = rb.CapSeconds
+	}
+	if len(c.Doc.Faults) > 0 {
+		// Only the faults whose site this cell's set contains apply; the
+		// per-cell compile is cheap relative to a simulation.
+		inSet := make(map[string]bool, len(cell.SiteSet))
+		for _, name := range cell.SiteSet {
+			inSet[name] = true
+		}
+		var specs []fault.Spec
+		for _, f := range c.Doc.Faults {
+			if inSet[f.Site] {
+				specs = append(specs, f)
+			}
+		}
+		script, err := fault.Compile(specs)
+		if err != nil {
+			return cellMetrics{}, err
+		}
+		exp.Faults = script
+	}
 	for _, name := range cell.SiteSet {
 		exp.Platforms = append(exp.Platforms, c.siteConfig(c.byName[name], cfgSeed))
 	}
@@ -345,7 +401,12 @@ func (c *Compiled) runEnsembleCell(cell Cell) (cellMetrics, error) {
 		retries:              report.TotalRetries,
 		evictions:            report.TotalEvictions,
 		failovers:            report.TotalFailovers,
+		backoffs:             report.TotalBackoffs,
+		outages:              report.TotalOutages,
 		success:              true,
+	}
+	for _, s := range report.Sites {
+		m.downtimeSeconds += s.DowntimeSeconds
 	}
 	for _, w := range res.Workflows {
 		sum := stats.Summarize(w.Result.Log, w.Result.Makespan)

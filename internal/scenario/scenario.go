@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"pegflow/internal/fault"
 	"pegflow/internal/planner"
 	"pegflow/internal/workflow"
 )
@@ -143,6 +144,17 @@ type OutputSpec struct {
 	Percentiles []float64 `json:"percentiles,omitempty"`
 }
 
+// RetryBackoffSpec delays every retry by an exponentially growing window
+// with full jitter: the k-th retry of a job waits uniform(0,
+// min(cap_s, base_s·2^(k-1))) virtual seconds before resubmission. The
+// jitter is drawn from the run's seeded RNG, so results reproduce exactly.
+type RetryBackoffSpec struct {
+	// BaseSeconds is the first retry's window (> 0).
+	BaseSeconds float64 `json:"base_s"`
+	// CapSeconds bounds the window; 0 leaves it uncapped.
+	CapSeconds float64 `json:"cap_s,omitempty"`
+}
+
 // Doc is a parsed scenario document.
 type Doc struct {
 	// SchemaVersion must equal Version.
@@ -164,6 +176,14 @@ type Doc struct {
 	Ensemble *EnsembleSpec `json:"ensemble,omitempty"`
 	// Retries is the per-job retry budget (default 5).
 	Retries *int `json:"retries,omitempty"`
+	// RetryBackoff, when present, delays retries with exponential backoff
+	// plus deterministic full jitter.
+	RetryBackoff *RetryBackoffSpec `json:"retry_backoff,omitempty"`
+	// Faults schedules deterministic site faults — timed outages with
+	// recovery, capacity steps, eviction storms and dispatch blackouts —
+	// against the simulated platforms. Each fault applies to the cells
+	// whose site set contains its site.
+	Faults []fault.Spec `json:"faults,omitempty"`
 	// Outputs selects report fields and percentiles.
 	Outputs OutputSpec `json:"outputs,omitempty"`
 }
@@ -172,7 +192,8 @@ type Doc struct {
 func MetricFields() []string {
 	return []string{
 		"makespan_s", "mean_workflow_makespan_s", "cumulative_kickstart_s",
-		"jobs", "attempts", "retries", "evictions", "failovers", "success",
+		"jobs", "attempts", "retries", "evictions", "failovers", "backoffs",
+		"outages", "downtime_s", "success",
 	}
 }
 
@@ -347,6 +368,15 @@ func (d *Doc) validate(src string, pos map[string]int) []error {
 	if d.Retries != nil && *d.Retries < 0 {
 		ef("retries", "must be non-negative, got %d", *d.Retries)
 	}
+	if rb := d.RetryBackoff; rb != nil {
+		if !(rb.BaseSeconds > 0) || math.IsInf(rb.BaseSeconds, 0) {
+			ef("retry_backoff.base_s", "must be positive and finite, got %v", rb.BaseSeconds)
+		}
+		if rb.CapSeconds < 0 || math.IsNaN(rb.CapSeconds) || math.IsInf(rb.CapSeconds, 0) {
+			ef("retry_backoff.cap_s", "must be non-negative and finite, got %v", rb.CapSeconds)
+		}
+	}
+	d.validateFaults(ef, siteNames)
 	d.validateOutputs(ef)
 
 	if len(errs) == 0 {
@@ -539,6 +569,21 @@ func (d *Doc) validatePolicies(ef func(path, format string, args ...any), anyMul
 		if f && !allMulti {
 			ef(fmt.Sprintf("policies.failover[%d]", i),
 				"failover needs every site set to have at least two sites")
+		}
+	}
+}
+
+// validateFaults checks every fault spec and that each targets a declared
+// site. Faults need not appear in every site set: a cell only installs the
+// faults whose site its set contains.
+func (d *Doc) validateFaults(ef func(path, format string, args ...any), siteNames map[string]bool) {
+	for i := range d.Faults {
+		f := &d.Faults[i]
+		if f.Site != "" && !siteNames[f.Site] {
+			ef(fmt.Sprintf("faults[%d].site", i), "site %q is not defined under sites", f.Site)
+		}
+		for _, fe := range f.Validate() {
+			ef(fmt.Sprintf("faults[%d].%s", i, fe.Field), "%s", fe.Msg)
 		}
 	}
 }

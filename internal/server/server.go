@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"pegflow/internal/core"
 	"pegflow/internal/scenario"
@@ -33,7 +34,17 @@ type Options struct {
 	// CacheBytes bounds the content-addressed cell-result cache: 0 means
 	// DefaultCacheBytes, negative disables the cache entirely.
 	CacheBytes int64
+	// RequestTimeout bounds one scenario run's wall time. It threads
+	// through the run's context, so a timed-out request stops simulating
+	// and its queued cells stop waiting for pool capacity; the stream ends
+	// with an in-band error line. 0 means no limit.
+	RequestTimeout time.Duration
 }
+
+// RetryAfterSeconds is the Retry-After hint on 503 responses while the
+// server drains: by then this process is gone and its replacement (or the
+// restarted service) should be accepting.
+const RetryAfterSeconds = 5
 
 // Server is the scenario HTTP service. Create one with New.
 type Server struct {
@@ -49,6 +60,14 @@ type Server struct {
 	requests chan struct{}
 	results  *resultcache.Cache
 	aborted  atomic.Uint64 // NDJSON streams cut short by client disconnect
+	// abortedCells counts cells whose simulation panicked: the run aborts
+	// with a structured error line but the process keeps serving.
+	abortedCells atomic.Uint64
+	// inflight gauges admitted scenario runs; draining flips once the
+	// process received a shutdown signal, after which new work gets 503
+	// while admitted streams run to completion.
+	inflight atomic.Int64
+	draining atomic.Bool
 
 	// Test seams (nil in production): hookGateWait fires when a cell is
 	// about to wait for gate capacity, hookCellStart after it acquired
@@ -85,6 +104,23 @@ func New(opts Options) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StartDraining puts the server into graceful-shutdown mode: /v1/healthz
+// reports draining and new scenario work is refused with 503 and a
+// Retry-After hint, while already-admitted streams keep running. The
+// caller then waits for in-flight requests (http.Server.Shutdown does)
+// before exiting.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// refuseIfDraining writes the 503 that new work gets during drain.
+func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", RetryAfterSeconds))
+	s.httpError(w, http.StatusServiceUnavailable, "server is draining for shutdown")
+	return true
+}
 
 // readScenario reads, parses and compiles the request body. The body is
 // capped with http.MaxBytesReader, so an oversized upload is cut off at
@@ -124,24 +160,37 @@ var errClientWrite = errors.New("client write failed")
 // taken, so slow or invalid uploads cannot pin 429 capacity that
 // admitted runs need. Only a validated scenario competes for a slot.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
 	c, ok := s.readScenario(w, r)
 	if !ok {
 		return
 	}
 	select {
 	case s.requests <- struct{}{}:
-		defer func() { <-s.requests }()
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.requests
+		}()
 	default:
 		s.httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("%d scenario runs already in flight", s.opts.MaxInFlight))
 		return
+	}
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Scenario-Fingerprint", c.Fingerprint)
 	flusher, _ := w.(http.Flusher)
 	opts := scenario.RunOptions{
 		Workers: s.opts.Workers,
-		Context: r.Context(),
+		Context: ctx,
 		Gate:    s.gateCell,
 		OnLine: func(line []byte) error {
 			if _, err := w.Write(line); err != nil {
@@ -163,13 +212,23 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, errClientWrite) || r.Context().Err() != nil {
 			// The client is gone: nothing left to write to, and the run
-			// stopped simulating for it. Count the cut stream.
+			// stopped simulating for it. Count the cut stream. (A
+			// RequestTimeout expiry is NOT this case — the client is still
+			// reading, so the timeout is reported in-band below.)
 			s.aborted.Add(1)
 			return
 		}
 		// The header line is already out; report the failure in-band as
-		// the final NDJSON line.
-		msg, _ := json.Marshal(map[string]string{"error": err.Error()})
+		// the final NDJSON line. A panicking cell additionally carries its
+		// grid index so the client can pinpoint the poisoned cell.
+		body := map[string]any{"error": err.Error()}
+		var cp *scenario.CellPanicError
+		if errors.As(err, &cp) {
+			s.abortedCells.Add(1)
+			body["cell"] = cp.Cell
+			body["panic"] = true
+		}
+		msg, _ := json.Marshal(body)
 		if _, werr := w.Write(msg); werr != nil {
 			s.aborted.Add(1)
 			return
@@ -220,6 +279,9 @@ type CheckResponse struct {
 
 // handleCheck validates and fingerprints a scenario without running it.
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxScenarioBytes))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -262,6 +324,14 @@ type HealthResponse struct {
 	// disconnected before reading them — NDJSON streams abandoned
 	// mid-run and JSON bodies that failed to write.
 	AbortedStreams uint64 `json:"aborted_streams"`
+	// AbortedCells counts cells whose simulation panicked; each aborted
+	// its run with a structured error line while the process kept serving.
+	AbortedCells uint64 `json:"aborted_cells"`
+	// InFlight gauges currently admitted scenario runs.
+	InFlight int64 `json:"inflight"`
+	// Draining reports that the server is refusing new work (503) while
+	// finishing admitted streams ahead of shutdown.
+	Draining bool `json:"draining"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -271,6 +341,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:    s.opts.MaxInFlight,
 		Cache:          core.PlanCacheStats(),
 		AbortedStreams: s.aborted.Load(),
+		AbortedCells:   s.abortedCells.Load(),
+		InFlight:       s.inflight.Load(),
+		Draining:       s.draining.Load(),
 	}
 	if s.results != nil {
 		st := s.results.Stats()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pegflow/internal/engine"
+	"pegflow/internal/fault"
 	"pegflow/internal/fifo"
 	"pegflow/internal/planner"
 	"pegflow/internal/sim/des"
@@ -76,6 +77,38 @@ func (m *MultiExecutor) Submit(job *planner.Job, attempt int) {
 // terminal event through emit instead of the pool's shared queue.
 func (m *MultiExecutor) SubmitTagged(job *planner.Job, attempt int, emit func(engine.Event)) {
 	m.site(job).SubmitTagged(job, attempt, emit)
+}
+
+// SubmitAfter routes the job attempt to its site after a virtual delay —
+// the engine's backoff hook.
+func (m *MultiExecutor) SubmitAfter(job *planner.Job, attempt int, delay float64) {
+	m.site(job).SubmitAfter(job, attempt, delay)
+}
+
+// After schedules fn on the pool's shared clock. Ensemble drivers use it
+// to delay re-submissions (backoff) in virtual time; fn runs inside the
+// pool's event loop like any other simulation callback.
+func (m *MultiExecutor) After(delay float64, fn func()) {
+	m.sim.After(delay, fn)
+}
+
+// InstallFaults arms each faulted site with its compiled timeline. Must
+// be called before any submissions; a nil script is a no-op. Faulting a
+// site the pool does not have is an error — fault scripts are validated
+// against the same site list as plans.
+func (m *MultiExecutor) InstallFaults(s *fault.Script) error {
+	if s == nil {
+		return nil
+	}
+	for _, name := range s.Sites() {
+		e := m.sites[name]
+		if e == nil {
+			return fmt.Errorf("platform: fault script targets site %q, not in pool %v",
+				name, m.order)
+		}
+		e.InstallFaults(s.Site(name))
+	}
+	return nil
 }
 
 func (m *MultiExecutor) site(job *planner.Job) *Executor {

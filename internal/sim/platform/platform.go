@@ -2,8 +2,10 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"pegflow/internal/engine"
+	"pegflow/internal/fault"
 	"pegflow/internal/fifo"
 	"pegflow/internal/kickstart"
 	"pegflow/internal/planner"
@@ -147,6 +149,28 @@ type Executor struct {
 	speed    *rng.Stream
 	setup    *rng.Stream
 	evict    *rng.Stream
+	frng     *rng.Stream // fault decisions (storm kill draws); idle without faults
+
+	// faults is the site's compiled fault timeline; nil for a healthy run,
+	// in which case none of the fault paths below are ever entered and the
+	// executor's event stream is bit-identical to earlier versions.
+	faults *fault.Timeline
+	// capBase is the ramp-managed capacity; capLimit the fault-imposed
+	// one. The slot pool always runs at min(capBase, capLimit).
+	capBase  int
+	capLimit int
+	// active tracks occupied-slot attempts so correlated preemptions can
+	// evict them; maintained only when a fault timeline is installed.
+	tracking   bool
+	active     map[int64]*runningAttempt
+	attemptSeq int64
+	// Outage/downtime accounting: an outage is any interval with the
+	// fault-imposed limit at zero.
+	outages     int
+	downSince   float64
+	downSeconds float64
+	// bpScratch is reused across hazard-window integrations.
+	bpScratch []float64
 
 	// emit delivers terminal events; by default it appends to pending,
 	// but a MultiExecutor routes it into a shared queue, and per-job
@@ -220,6 +244,9 @@ func newExecutorOn(sim *des.Simulation, cfg Config) (*Executor, error) {
 		speed:    base.Derive("speed"),
 		setup:    base.Derive("setup"),
 		evict:    base.Derive("evict"),
+		frng:     base.Derive("fault"),
+		capBase:  startSlots,
+		capLimit: fault.NoLimit,
 	}
 	e.nodeNames = make([]string, cfg.Slots)
 	for i := range e.nodeNames {
@@ -229,11 +256,132 @@ func newExecutorOn(sim *des.Simulation, cfg Config) (*Executor, error) {
 		for k := 1; k <= cfg.Slots-cfg.InitialSlots; k++ {
 			target := cfg.InitialSlots + k
 			sim.At(des.Time(float64(k)*cfg.SlotRampInterval), func() {
-				e.slots.SetCapacity(target)
+				e.setBaseCapacity(target)
 			})
 		}
 	}
 	return e, nil
+}
+
+// InstallFaults arms the executor with a compiled fault timeline,
+// scheduling its capacity steps and correlated preemptions as simulation
+// events. Must be called before any submissions, at virtual time zero.
+func (e *Executor) InstallFaults(tl *fault.Timeline) {
+	if tl == nil {
+		return
+	}
+	e.faults = tl
+	e.tracking = true
+	if e.active == nil {
+		e.active = make(map[int64]*runningAttempt)
+	}
+	for _, st := range tl.Steps {
+		limit := st.Limit
+		e.sim.At(des.Time(st.At), func() { e.setCapLimit(limit) })
+	}
+	for _, p := range tl.Preempts {
+		frac := p.Fraction
+		e.sim.At(des.Time(p.At), func() { e.preemptOccupied(frac) })
+	}
+}
+
+// runningAttempt is the occupied-slot state a correlated preemption needs
+// to evict an attempt: the pending terminal event to cancel and enough of
+// the record context to finalize it the way a hazard eviction would.
+type runningAttempt struct {
+	job        *planner.Job
+	attempt    int
+	rec        *kickstart.Record
+	emit       func(engine.Event)
+	setupStart float64
+	setupDur   float64
+	done       des.EventID
+}
+
+// setBaseCapacity updates the ramp-managed capacity.
+func (e *Executor) setBaseCapacity(c int) {
+	e.capBase = c
+	e.applyCapacity()
+}
+
+// setCapLimit updates the fault-imposed limit, tracking outage intervals
+// (limit at zero) for the downtime accounting.
+func (e *Executor) setCapLimit(limit int) {
+	wasDown := e.capLimit == 0
+	e.capLimit = limit
+	if limit == 0 && !wasDown {
+		e.outages++
+		e.downSince = e.Now()
+	} else if limit != 0 && wasDown {
+		e.downSeconds += e.Now() - e.downSince
+	}
+	e.applyCapacity()
+}
+
+func (e *Executor) applyCapacity() {
+	eff := e.capBase
+	if e.capLimit < eff {
+		eff = e.capLimit
+	}
+	e.slots.SetCapacity(eff)
+}
+
+// preemptOccupied evicts each occupied-slot attempt independently with
+// the given probability (1 = all). Attempts are visited in admission
+// order so the draw sequence — and therefore the output — is fully
+// deterministic.
+func (e *Executor) preemptOccupied(fraction float64) {
+	if len(e.active) == 0 {
+		return
+	}
+	keys := make([]int64, 0, len(e.active))
+	for k := range e.active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if fraction < 1 && e.frng.Float64() >= fraction {
+			continue
+		}
+		a := e.active[k]
+		delete(e.active, k)
+		e.sim.Cancel(a.done)
+		e.finishEvicted(a.rec, a.job, a.setupStart, a.setupDur,
+			"slot lost to site fault", a.emit)
+	}
+}
+
+// finishEvicted finalizes an evicted attempt's record, frees its slot and
+// emits the eviction event — shared by hazard evictions and correlated
+// fault preemptions.
+func (e *Executor) finishEvicted(rec *kickstart.Record, job *planner.Job,
+	setupStart, setupDur float64, msg string, emit func(engine.Event)) {
+	end := e.Now()
+	rec.ExecStart = setupStart + setupDur
+	if rec.ExecStart > end {
+		rec.ExecStart = end // evicted during setup
+	}
+	rec.EndTime = end
+	rec.Status = kickstart.StatusEvicted
+	rec.ExitMessage = msg
+	e.slots.Release(1)
+	emit(engine.Event{
+		JobID: job.ID, Type: engine.EventEvicted, Time: end, Record: rec,
+	})
+}
+
+// Outages reports how many fault-imposed full outages have begun.
+func (e *Executor) Outages() int { return e.outages }
+
+// DowntimeSeconds reports the virtual seconds spent in outage so far,
+// including the open interval of an outage still in progress (or one
+// spanning the end of the run).
+func (e *Executor) DowntimeSeconds() float64 {
+	d := e.downSeconds
+	if e.capLimit == 0 {
+		d += e.Now() - e.downSince
+	}
+	return d
 }
 
 // Now returns the current virtual time in seconds.
@@ -276,6 +424,12 @@ func (e *Executor) submitWith(job *planner.Job, attempt int, emit func(engine.Ev
 
 	submitTime := now
 	delay := (release - now) + e.dispatch.LogNormalMeanCV(e.cfg.DispatchMean, e.cfg.DispatchCV)
+	if e.faults != nil {
+		// A dispatch landing inside a blackout window is held until the
+		// window ends — the scheduler simply stops matching jobs.
+		land := e.faults.DelayThroughBlackouts(now + delay)
+		delay = land - now
+	}
 	e.sim.After(delay, func() {
 		e.slots.Acquire(1, func() {
 			e.runOnNode(job, attempt, submitTime, emit)
@@ -331,33 +485,46 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 		rec.ClusterID = job.ID
 	}
 
+	hazards := e.faults != nil && len(e.faults.Hazards) > 0
 	evictAt := -1.0
-	if e.cfg.EvictionRate > 0 {
+	if e.cfg.EvictionRate > 0 && !hazards {
 		tte := e.evict.Exponential(1 / e.cfg.EvictionRate)
 		if tte < total {
 			evictAt = tte
 		}
+	} else if hazards {
+		if tte, ok := e.stormEvictionTime(setupStart, total); ok {
+			evictAt = tte
+		}
+	}
+
+	var key int64
+	if e.tracking {
+		e.attemptSeq++
+		key = e.attemptSeq
 	}
 
 	if evictAt >= 0 {
-		e.sim.After(evictAt, func() {
-			end := e.Now()
-			rec.ExecStart = setupStart + setupDur
-			if rec.ExecStart > end {
-				rec.ExecStart = end // evicted during setup
+		id := e.sim.After(evictAt, func() {
+			if key != 0 {
+				delete(e.active, key)
 			}
-			rec.EndTime = end
-			rec.Status = kickstart.StatusEvicted
-			rec.ExitMessage = "slot reclaimed by resource owner"
-			e.slots.Release(1)
-			emit(engine.Event{
-				JobID: job.ID, Type: engine.EventEvicted, Time: end, Record: rec,
-			})
+			e.finishEvicted(rec, job, setupStart, setupDur,
+				"slot reclaimed by resource owner", emit)
 		})
+		if key != 0 {
+			e.active[key] = &runningAttempt{
+				job: job, attempt: attempt, rec: rec, emit: emit,
+				setupStart: setupStart, setupDur: setupDur, done: id,
+			}
+		}
 		return
 	}
 
-	e.sim.After(total, func() {
+	id := e.sim.After(total, func() {
+		if key != 0 {
+			delete(e.active, key)
+		}
 		end := e.Now()
 		e.slots.Release(1)
 		if len(job.Members) > 0 {
@@ -375,6 +542,51 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 			JobID: job.ID, Type: engine.EventFinished, Time: end, Record: rec,
 		})
 	})
+	if key != 0 {
+		e.active[key] = &runningAttempt{
+			job: job, attempt: attempt, rec: rec, emit: emit,
+			setupStart: setupStart, setupDur: setupDur, done: id,
+		}
+	}
+}
+
+// stormEvictionTime samples the attempt's time-to-eviction under the
+// piecewise-constant hazard produced by storm windows: a single
+// unit-exponential draw is inverted through the cumulative hazard over
+// [start, start+total). Exactly one stream draw per attempt keeps the
+// sequence aligned no matter how windows land, so output stays
+// deterministic across worker counts.
+func (e *Executor) stormEvictionTime(start, total float64) (float64, bool) {
+	target := e.evict.Exponential(1)
+	end := start + total
+	e.bpScratch = e.faults.HazardBreakpoints(e.bpScratch[:0], start, end)
+	bps := e.bpScratch
+	t0 := start
+	for i := 0; i <= len(bps); i++ {
+		t1 := end
+		if i < len(bps) {
+			t1 = bps[i]
+		}
+		if h := e.faults.HazardAt(e.cfg.EvictionRate, t0); h > 0 {
+			seg := (t1 - t0) * h
+			if target <= seg {
+				return (t0 - start) + target/h, true
+			}
+			target -= seg
+		}
+		t0 = t1
+	}
+	return 0, false
+}
+
+// SubmitAfter schedules the job attempt after a virtual delay — the
+// engine's backoff hook. A non-positive delay submits immediately.
+func (e *Executor) SubmitAfter(job *planner.Job, attempt int, delay float64) {
+	if delay <= 0 {
+		e.Submit(job, attempt)
+		return
+	}
+	e.sim.After(delay, func() { e.Submit(job, attempt) })
 }
 
 // memberRecords builds the per-task kickstart records of one successful

@@ -29,6 +29,9 @@ type EnsembleWorkflow struct {
 	// Failovers counts retries re-targeted to a different site by the
 	// cross-site retry policy (a subset of Retries).
 	Failovers int `json:"failovers"`
+	// Backoffs counts retries delayed by the backoff policy (a subset of
+	// Retries).
+	Backoffs int `json:"backoffs"`
 }
 
 // EnsembleSite is the per-site utilization row of an ensemble report.
@@ -44,6 +47,10 @@ type EnsembleSite struct {
 	// Utilization is BusySlotSeconds over the site's capacity integral
 	// (accounting for opportunistic slot ramps), in [0, 1].
 	Utilization float64 `json:"utilization"`
+	// Outages counts fault-imposed full outages of the site.
+	Outages int `json:"outages"`
+	// DowntimeSeconds integrates the site's outages over virtual time.
+	DowntimeSeconds float64 `json:"downtime_s"`
 }
 
 // EnsembleReport aggregates one ensemble run — the pegasus-em-style view
@@ -63,6 +70,10 @@ type EnsembleReport struct {
 	TotalRetries   int `json:"total_retries"`
 	TotalEvictions int `json:"total_evictions"`
 	TotalFailovers int `json:"total_failovers"`
+	// TotalBackoffs sums backoff-delayed retries over members, and
+	// TotalOutages sums fault-imposed outages over sites.
+	TotalBackoffs int `json:"total_backoffs"`
+	TotalOutages  int `json:"total_outages"`
 }
 
 // WriteJSON renders the report as deterministic indented JSON.
@@ -82,17 +93,19 @@ func WriteEnsemble(w io.Writer, r *EnsembleReport) error {
 	fmt.Fprintf(w, "Total retries                : %12d\n", r.TotalRetries)
 	fmt.Fprintf(w, "Total evictions              : %12d\n", r.TotalEvictions)
 	fmt.Fprintf(w, "Total failovers              : %12d\n", r.TotalFailovers)
+	fmt.Fprintf(w, "Total backoffs               : %12d\n", r.TotalBackoffs)
+	fmt.Fprintf(w, "Total site outages           : %12d\n", r.TotalOutages)
 
 	fmt.Fprintln(w)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "WORKFLOW\tPRIORITY\tSTATUS\tMAKESPAN(s)\tJOBS\tATTEMPTS\tRETRIES\tEVICTIONS\tFAILOVERS")
+	fmt.Fprintln(tw, "WORKFLOW\tPRIORITY\tSTATUS\tMAKESPAN(s)\tJOBS\tATTEMPTS\tRETRIES\tEVICTIONS\tFAILOVERS\tBACKOFFS")
 	for _, wf := range r.Workflows {
 		status := "ok"
 		if !wf.Success {
 			status = "INCOMPLETE"
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
-			wf.Name, wf.Priority, status, wf.Makespan, wf.Jobs, wf.Attempts, wf.Retries, wf.Evictions, wf.Failovers)
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			wf.Name, wf.Priority, status, wf.Makespan, wf.Jobs, wf.Attempts, wf.Retries, wf.Evictions, wf.Failovers, wf.Backoffs)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -100,10 +113,11 @@ func WriteEnsemble(w io.Writer, r *EnsembleReport) error {
 
 	fmt.Fprintln(w)
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SITE\tSLOTS\tMAX BUSY\tBUSY SLOT·S\tUTILIZATION")
+	fmt.Fprintln(tw, "SITE\tSLOTS\tMAX BUSY\tBUSY SLOT·S\tUTILIZATION\tOUTAGES\tDOWNTIME(s)")
 	for _, s := range r.Sites {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.1f%%\n",
-			s.Site, s.Slots, s.MaxBusySlots, s.BusySlotSeconds, s.Utilization*100)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.1f%%\t%d\t%.0f\n",
+			s.Site, s.Slots, s.MaxBusySlots, s.BusySlotSeconds, s.Utilization*100,
+			s.Outages, s.DowntimeSeconds)
 	}
 	return tw.Flush()
 }
