@@ -352,6 +352,7 @@ type runCmdOpts struct {
 	logOut         string
 	rescueOut      string
 	timeline       bool
+	aggregate      bool
 }
 
 func runFlags() (*flag.FlagSet, *runCmdOpts) {
@@ -372,6 +373,8 @@ func runFlags() (*flag.FlagSet, *runCmdOpts) {
 	fs.StringVar(&o.logOut, "log-out", "", "write the kickstart log (JSON lines) to this file")
 	fs.StringVar(&o.rescueOut, "rescue-out", "", "write a rescue DAX here if the run is incomplete")
 	fs.BoolVar(&o.timeline, "timeline", false, "print an ASCII utilization timeline")
+	fs.BoolVar(&o.aggregate, "aggregate", false,
+		"fold records into fixed-size accumulators instead of retaining them (memory-flat for million-job runs; incompatible with -timeline, -log-out and -rescue-out)")
 	return fs, o
 }
 
@@ -385,6 +388,18 @@ func cmdRun(args []string) error {
 	}
 	if o.failover && o.sites == "" {
 		return fmt.Errorf("run: -failover needs a multi-site run (-sites)")
+	}
+	if o.aggregate {
+		// These consumers need the raw record stream the aggregating log
+		// does not retain.
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{{o.timeline, "-timeline"}, {o.logOut != "", "-log-out"}, {o.rescueOut != "", "-rescue-out"}} {
+			if bad.set {
+				return fmt.Errorf("run: %s needs the full record log; drop -aggregate", bad.flag)
+			}
+		}
 	}
 	wf, err := loadDAX(o.dax)
 	if err != nil {
@@ -423,7 +438,7 @@ func cmdRun(args []string) error {
 		}
 		ex = single
 	}
-	opts := engine.Options{RetryLimit: o.retries}
+	opts := engine.Options{RetryLimit: o.retries, Aggregate: o.aggregate}
 	if o.failover {
 		fo, err := planner.NewFailover(cats, plan.Sites)
 		if err != nil {
@@ -507,6 +522,7 @@ type ensembleOpts struct {
 	failover       bool
 	workers        int
 	jsonOut        bool
+	aggregate      bool
 }
 
 func ensembleFlags() (*flag.FlagSet, *ensembleOpts) {
@@ -526,6 +542,8 @@ func ensembleFlags() (*flag.FlagSet, *ensembleOpts) {
 	fs.BoolVar(&o.failover, "failover", false, "retry failed/evicted jobs on a sibling pool site")
 	fs.IntVar(&o.workers, "workers", 0, "planning workers (0 = all CPUs; results are identical for any count)")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit the ensemble report as JSON")
+	fs.BoolVar(&o.aggregate, "aggregate", false,
+		"fold member records into fixed-size accumulators instead of retaining them (memory-flat for large ensembles)")
 	return fs, o
 }
 
@@ -566,8 +584,9 @@ func cmdEnsemble(args []string) error {
 			MaxTasksPerJob:   o.cluster,
 			TargetJobSeconds: o.clusterSeconds,
 		},
-		Failover: o.failover,
-		Workers:  o.workers,
+		Failover:  o.failover,
+		Workers:   o.workers,
+		Aggregate: o.aggregate,
 	}
 	_, report, err := exp.Run()
 	if err != nil {
@@ -582,8 +601,9 @@ func cmdEnsemble(args []string) error {
 // ---- scenario run / scenario check ----
 
 type scenarioRunOpts struct {
-	workers int
-	cacheMB int
+	workers   int
+	cacheMB   int
+	aggregate bool
 }
 
 func scenarioRunFlags() (*flag.FlagSet, *scenarioRunOpts) {
@@ -592,6 +612,8 @@ func scenarioRunFlags() (*flag.FlagSet, *scenarioRunOpts) {
 	fs.IntVar(&o.workers, "workers", 0, "concurrent cells (0 = all CPUs; output is identical for any count)")
 	fs.IntVar(&o.cacheMB, "cache-mb", 0,
 		"share a content-addressed cell-result cache of this many MB across the given files (0 = off)")
+	fs.BoolVar(&o.aggregate, "aggregate", false,
+		"run every cell in aggregation mode, as if the document set outputs.aggregate (changes the fingerprint)")
 	return fs, o
 }
 
@@ -611,6 +633,11 @@ func cmdScenarioRun(args []string) error {
 		doc, err := scenario.Load(path)
 		if err != nil {
 			return err
+		}
+		if o.aggregate {
+			// Before Compile, so the fingerprint (and the result-cache
+			// keys) reflect the effective mode.
+			doc.Outputs.Aggregate = true
 		}
 		c, err := scenario.Compile(doc)
 		if err != nil {

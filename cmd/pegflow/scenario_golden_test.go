@@ -55,6 +55,20 @@ func TestGoldenScenarioSiteChurn(t *testing.T) {
 	}
 }
 
+// TestGoldenScenarioAggregateScale pins the memory-flat big-run mode end
+// to end: a fine-decomposition OSG cell with outputs.aggregate folds
+// every record into accumulators and sketches, and the NDJSON stream —
+// sketch-backed percentiles included — is byte-identical across worker
+// counts and pinned by a golden fixture.
+func TestGoldenScenarioAggregateScale(t *testing.T) {
+	path := scenarioPath("aggregate-scale.json")
+	one := captureStdout(t, cmdScenarioRun, []string{"-workers", "1", path})
+	checkGolden(t, "scenario_aggregate_scale", one)
+	if many := captureStdout(t, cmdScenarioRun, []string{"-workers", "8", path}); many != one {
+		t.Errorf("aggregate-scale scenario output depends on -workers:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", one, many)
+	}
+}
+
 func TestGoldenScenarioCheck(t *testing.T) {
 	out := captureStdout(t, cmdScenarioCheck, []string{scenarioPath("paper.json")})
 	checkGolden(t, "scenario_check_paper", out)

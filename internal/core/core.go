@@ -42,6 +42,12 @@ type Experiment struct {
 	// out; <= 0 means runtime.NumCPU(), 1 forces the serial path. The
 	// results are identical for any worker count.
 	Workers int
+	// Aggregate runs every engine in aggregation mode: logs fold into
+	// fixed-size accumulators and streaming sketches instead of retaining
+	// records — the memory-flat path for million-job runs. Summaries and
+	// per-transformation tables are unaffected; consumers that need raw
+	// records (timelines, log export) must run exact.
+	Aggregate bool
 }
 
 // DefaultExperiment returns the paper-scale configuration.
@@ -114,7 +120,7 @@ func (e *Experiment) RunSerial() (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := engine.Run(plan, ex, engine.Options{})
+	res, err := engine.Run(plan, ex, engine.Options{Aggregate: e.Aggregate})
 	if err != nil {
 		return nil, err
 	}

@@ -67,6 +67,10 @@ type EnsembleExperiment struct {
 	// name, so runs reproduce exactly.
 	BackoffBase float64
 	BackoffCap  float64
+	// Aggregate runs every member engine in aggregation mode (see
+	// Experiment.Aggregate): member logs fold instead of retaining
+	// records, and spent records recycle into the pool's arenas.
+	Aggregate bool
 }
 
 // memberWorkload returns the dataset for member i.
@@ -205,7 +209,7 @@ func (e *EnsembleExperiment) Run() (*ensemble.Result, *stats.EnsembleReport, err
 	if err := p.InstallFaults(e.Faults); err != nil {
 		return nil, nil, err
 	}
-	res, err := ensemble.Run(p, specs, ensemble.Options{MaxInFlight: e.MaxInFlight})
+	res, err := ensemble.Run(p, specs, ensemble.Options{MaxInFlight: e.MaxInFlight, Aggregate: e.Aggregate})
 	if err != nil {
 		return nil, nil, err
 	}

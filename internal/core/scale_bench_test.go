@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkMillionJobRun measures the aggregated big-run path end to end:
+// one RunWorkflow on the OSG model with the plan cache warm, so each
+// iteration prices planning-clone + simulation + streaming statistics —
+// the cost that recurs per sweep cell. The default n is 10^5 to keep the
+// CI bench smoke (one iteration of every benchmark) fast; BENCH_scale.json
+// records the PEGFLOW_SCALE_N=1000000 numbers.
+func BenchmarkMillionJobRun(b *testing.B) {
+	n := scaleBigN(b)
+	e := DefaultExperiment(42)
+	e.Aggregate = true
+	e.RetryLimit = scaleRetryLimit
+	warm, err := e.RunWorkflow("osg", n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attempts := warm.Result.Log.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.RunWorkflow("osg", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Result.Log.Len() != attempts {
+			b.Fatalf("nondeterministic run: %d attempts, want %d", r.Result.Log.Len(), attempts)
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(attempts)*float64(b.N)/b.Elapsed().Seconds(), "attempts/s")
+	}
+}

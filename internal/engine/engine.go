@@ -87,6 +87,23 @@ type Options struct {
 	// effect through the executor's DelayedSubmitter capability; without
 	// one the delay is accounted but the retry submits immediately.
 	Backoff BackoffPolicy
+	// Aggregate runs the result log in aggregation mode: records are
+	// folded into fixed-size accumulators and sketches instead of
+	// retained, and handed back to the executor through its
+	// RecordRecycler capability — the memory-flat path for million-job
+	// runs. Consumers that need raw records (timelines, log export)
+	// must run exact.
+	Aggregate bool
+}
+
+// RecordRecycler is an optional executor capability. In aggregation
+// mode the engine folds each event's records without retaining them and
+// returns the spent records here so the executor can reuse their arena
+// slots. Recycle is only called between Next calls — never while the
+// executor is advancing — and the record must not be read after it is
+// recycled.
+type RecordRecycler interface {
+	Recycle(r *kickstart.Record)
 }
 
 // Result summarizes one engine run.
@@ -221,6 +238,11 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 	var resited []*planner.Job
 
 	res := &Result{Log: &kickstart.Log{}}
+	var recycler RecordRecycler
+	if opts.Aggregate {
+		res.Log.SetAggregate()
+		recycler, _ = ex.(RecordRecycler)
+	}
 	ready := &readyQueue{}
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
@@ -318,6 +340,17 @@ func Run(plan *planner.Plan, ex Executor, opts Options) (*Result, error) {
 			}
 		default:
 			return nil, fmt.Errorf("engine: unknown event type %v for job %q", ev.Type, ev.JobID)
+		}
+		if recycler != nil {
+			// The records were folded into the aggregating log above and
+			// the retry branch has taken what it needs (ev.Record.Site);
+			// hand the slots back to the executor's arena.
+			if ev.Record != nil {
+				recycler.Recycle(ev.Record)
+			}
+			for _, r := range ev.Members {
+				recycler.Recycle(r)
+			}
 		}
 		submit()
 	}

@@ -7,6 +7,7 @@ import (
 	"pegflow/internal/dax"
 	"pegflow/internal/engine"
 	"pegflow/internal/fifo"
+	"pegflow/internal/kickstart"
 	"pegflow/internal/planner"
 	"pegflow/internal/pool"
 	"pegflow/internal/sim/platform"
@@ -43,6 +44,12 @@ type Options struct {
 	// members (0 = unlimited) — the ensemble-manager counterpart of
 	// DAGMan's maxjobs.
 	MaxInFlight int
+	// Aggregate runs every member engine in aggregation mode
+	// (engine.Options.Aggregate): member logs fold into fixed-size
+	// accumulators and sketches instead of retaining records, and spent
+	// records are recycled into the pool's arenas — the memory-flat path
+	// for large ensembles.
+	Aggregate bool
 }
 
 // WorkflowResult pairs a member with its engine outcome.
@@ -302,6 +309,12 @@ func (f *facade) Next() engine.Event {
 
 func (f *facade) Now() float64 { return f.d.pool.Now() }
 
+// Recycle implements engine.RecordRecycler by routing the spent record
+// back to the pool site that allocated it. Safe under the hand-off
+// protocol: the engine recycles between Next calls, while the driver is
+// blocked and the pool clock is not advancing.
+func (f *facade) Recycle(r *kickstart.Record) { f.d.pool.Recycle(r) }
+
 // submit holds the job and releases as much held work as global capacity
 // allows.
 func (d *driver) submit(wf int, job *planner.Job, attempt int) {
@@ -376,6 +389,7 @@ func Run(p *platform.MultiExecutor, specs []Spec, opts Options) (*Result, error)
 				MaxActive:  specs[w].MaxActive,
 				Retry:      specs[w].Retry,
 				Backoff:    specs[w].Backoff,
+				Aggregate:  opts.Aggregate,
 			})
 			d.control <- ctrl{wf: w, finished: true, res: res, err: err}
 		}()

@@ -242,3 +242,48 @@ func TestPlanAllUnknownPolicy(t *testing.T) {
 		t.Error("no error for unknown policy")
 	}
 }
+
+// runEnsembleOn is runEnsemble with the pool construction pluggable, so
+// the per-site parallel pool can be driven through the full ensemble
+// stack (hand-off facade, priority holds, backoff via pool.After).
+func runEnsembleOn(t *testing.T, build func([]platform.Config) (*platform.MultiExecutor, error),
+	opts Options) *Result {
+	t.Helper()
+	cats := testCatalogs(t)
+	specs, err := PlanAll(testSources(t, 8), cats,
+		PlanOptions{Sites: []string{"alpha", "beta"}, Policy: planner.PolicyDataAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := build(testConfigs(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pool, specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEnsembleParallelPoolByteIdentical: the ensemble report produced on
+// a per-site parallel pool is byte-identical to the serial pool's —
+// including the constrained (MaxInFlight + backoff) path, which routes
+// delayed re-submissions through boundary events on the pool clock.
+func TestEnsembleParallelPoolByteIdentical(t *testing.T) {
+	for _, opts := range []Options{{}, {MaxInFlight: 3}} {
+		report := func(build func([]platform.Config) (*platform.MultiExecutor, error)) []byte {
+			var buf bytes.Buffer
+			if err := runEnsembleOn(t, build, opts).Report(planner.PolicyDataAware).WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		serial := report(platform.NewMultiExecutor)
+		par := report(platform.NewParallelMultiExecutor)
+		if !bytes.Equal(serial, par) {
+			t.Errorf("MaxInFlight=%d: parallel-pool ensemble report diverged:\n%s\n---\n%s",
+				opts.MaxInFlight, serial, par)
+		}
+	}
+}

@@ -98,24 +98,77 @@ func (r *Record) Validate() error {
 }
 
 // Log is an append-only collection of attempt records for one workflow run.
+//
+// A Log normally retains every record. SetAggregate switches it to
+// aggregation mode, where Append folds each record into fixed-size
+// accumulators and quantile sketches instead of retaining it — the
+// memory-flat path for million-job runs. Aggregation assumes the
+// engine's record invariants (each job succeeds at most once, and never
+// fails after succeeding); logs parsed back from JSON are always exact.
 type Log struct {
-	records []*Record
+	records  []*Record
+	appended int
+	agg      *Aggregates
+	// onRecords, when non-nil, observes every Records call. Tests use it
+	// to pin single-pass consumers (stats.Summarize must not walk the
+	// log twice).
+	onRecords func()
 }
 
-// Append adds a record after validating it.
+// SetAggregate switches the log to aggregation mode. It must be called
+// before the first Append; switching a log that already retains records
+// panics, because the retained records would silently vanish from the
+// aggregates.
+func (l *Log) SetAggregate() {
+	if len(l.records) > 0 {
+		panic("kickstart: SetAggregate on a log that already retains records")
+	}
+	if l.agg == nil {
+		l.agg = newAggregates()
+	}
+}
+
+// Aggregating reports whether the log folds records instead of
+// retaining them.
+func (l *Log) Aggregating() bool { return l.agg != nil }
+
+// Aggregates returns the folded view of an aggregating log, or nil for
+// an exact log.
+func (l *Log) Aggregates() *Aggregates { return l.agg }
+
+// ObserveRecords installs fn to be invoked on every Records call — a
+// test seam for asserting how many passes a consumer makes over the
+// log.
+func (l *Log) ObserveRecords(fn func()) { l.onRecords = fn }
+
+// Append adds a record after validating it. In aggregation mode the
+// record is folded and not retained; the caller keeps ownership and may
+// recycle it.
 func (l *Log) Append(r *Record) error {
 	if err := r.Validate(); err != nil {
 		return err
+	}
+	l.appended++
+	if l.agg != nil {
+		l.agg.fold(r)
+		return nil
 	}
 	l.records = append(l.records, r)
 	return nil
 }
 
-// Records returns all records in append order.
-func (l *Log) Records() []*Record { return l.records }
+// Records returns all records in append order. An aggregating log
+// retains none and returns nil.
+func (l *Log) Records() []*Record {
+	if l.onRecords != nil {
+		l.onRecords()
+	}
+	return l.records
+}
 
-// Len returns the number of records.
-func (l *Log) Len() int { return len(l.records) }
+// Len returns the number of records appended, whether or not they were
+// retained.
+func (l *Log) Len() int { return l.appended }
 
 // Successes returns only the records of successful attempts.
 func (l *Log) Successes() []*Record {

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// runAggregateLines parses src, switches it into aggregation mode the way
+// `pegflow scenario run -aggregate` does (before Compile, so the
+// fingerprint reflects the mode), and runs it.
+func runAggregateLines(t *testing.T, src string, workers int) [][]byte {
+	t.Helper()
+	doc, err := Parse("agg.json", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Outputs.Aggregate = true
+	c, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := c.Run(RunOptions{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestAggregateDeterministicAcrossWorkers is the satellite determinism
+// gate: aggregated-mode scenario output must be byte-identical across
+// worker counts and across repeated runs.
+func TestAggregateDeterministicAcrossWorkers(t *testing.T) {
+	leakCheck(t)
+	one := joinLines(runAggregateLines(t, minimal, 1))
+	eight := joinLines(runAggregateLines(t, minimal, 8))
+	again := joinLines(runAggregateLines(t, minimal, 8))
+	if !bytes.Equal(one, eight) {
+		t.Errorf("aggregated output depends on worker count:\n--- workers=1 ---\n%s--- workers=8 ---\n%s", one, eight)
+	}
+	if !bytes.Equal(eight, again) {
+		t.Error("aggregated output differs between repeated runs")
+	}
+}
+
+// TestAggregateMatchesExactCells: aggregation must not change any counter
+// or makespan field — only the percentile fields may move (sketch vs
+// exact), and on these small cells the sketches are still exact, so even
+// those must match bit for bit.
+func TestAggregateMatchesExactCells(t *testing.T) {
+	exact := runLines(t, minimal, 0)
+	agg := runAggregateLines(t, minimal, 0)
+	if len(exact) != len(agg) {
+		t.Fatalf("line counts diverged: exact %d, agg %d", len(exact), len(agg))
+	}
+	// Compare cell rows (skip header/footer: fingerprints differ by design).
+	for i := 1; i < len(exact)-1; i++ {
+		var er, ar map[string]any
+		if err := json.Unmarshal(exact[i], &er); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(agg[i], &ar); err != nil {
+			t.Fatal(err)
+		}
+		for k, ev := range er {
+			av, ok := ar[k]
+			if !ok {
+				t.Errorf("cell %d: aggregated row lost field %q", i-1, k)
+				continue
+			}
+			if isSmallCellExact(er) && !reflect.DeepEqual(ev, av) {
+				t.Errorf("cell %d field %q: exact %v, aggregated %v", i-1, k, ev, av)
+			}
+		}
+	}
+}
+
+// isSmallCellExact reports whether the cell ran few enough attempts for
+// the quantile sketch to still be in its exact startup phase.
+func isSmallCellExact(row map[string]any) bool {
+	a, ok := row["attempts"].(float64)
+	return ok && a <= 51
+}
+
+// TestAggregateFingerprints pins the cache-safety contract: adding the
+// aggregate field must not move exact-mode fingerprints (omitempty), and
+// the aggregated variant of a document must fingerprint differently so
+// result caches never serve one mode for the other.
+func TestAggregateFingerprints(t *testing.T) {
+	doc, err := Parse("fp.json", []byte(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "aggregate") {
+		t.Fatalf("exact-mode document marshals an aggregate key (breaks old fingerprints): %s", b)
+	}
+	exactFP := doc.Fingerprint()
+	doc.Outputs.Aggregate = true
+	if aggFP := doc.Fingerprint(); aggFP == exactFP {
+		t.Fatal("aggregated document has the same fingerprint as the exact one")
+	}
+}
+
+// TestAggregatePercentilesFinite: aggregated percentile fields exist and
+// are finite on a cell large enough to push the sketch past its startup
+// buffer.
+func TestAggregatePercentilesFinite(t *testing.T) {
+	src := `{
+  "version": 1,
+  "name": "agg-large",
+  "sites": [{"preset": "sandhills", "slots": 24}],
+  "workload": {
+    "params": {"num_clusters": 400, "max_cluster_size": 60, "size_exponent": 0.5, "mean_read_len": 900},
+    "n": [120], "seeds": [7]
+  },
+  "outputs": {"percentiles": [5, 50, 95], "aggregate": true}
+}`
+	lines := runLines(t, src, 0)
+	var row map[string]any
+	if err := json.Unmarshal(lines[1], &row); err != nil {
+		t.Fatal(err)
+	}
+	if a := row["attempts"].(float64); a <= 51 {
+		t.Fatalf("cell too small to exercise the sketch's marker path: %v attempts", a)
+	}
+	prev := math.Inf(-1)
+	for _, key := range []string{"kickstart_p5", "kickstart_p50", "kickstart_p95"} {
+		v, ok := row[key].(float64)
+		if !ok || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v, want a finite float", key, row[key])
+		}
+		if v < prev {
+			t.Errorf("%s = %v below the previous percentile %v (must be monotone)", key, v, prev)
+		}
+		prev = v
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pegflow/internal/planner"
 	"pegflow/internal/pool"
 	"pegflow/internal/stats"
+	"pegflow/internal/stats/quantile"
 	"pegflow/internal/workflow"
 )
 
@@ -267,10 +268,18 @@ func (c *Compiled) runCell(cell Cell) (map[string]any, error) {
 	}
 
 	if ps := c.Doc.Outputs.Percentiles; len(ps) > 0 {
-		kick := collectValues(m.logs, (*kickstart.Record).Exec)
-		wait := collectValues(m.logs, (*kickstart.Record).Waiting)
-		kp := stats.PercentilesOf(kick, ps...)
-		wp := stats.PercentilesOf(wait, ps...)
+		var kp, wp []float64
+		if c.Doc.Outputs.Aggregate {
+			// Aggregated cells never retained records; the per-log
+			// streaming sketches merge into one per-cell estimate.
+			kp = mergedQuantiles(m.logs, execSketch, ps)
+			wp = mergedQuantiles(m.logs, waitSketch, ps)
+		} else {
+			kick := collectValues(m.logs, (*kickstart.Record).Exec)
+			wait := collectValues(m.logs, (*kickstart.Record).Waiting)
+			kp = stats.PercentilesOf(kick, ps...)
+			wp = stats.PercentilesOf(wait, ps...)
+		}
 		for i, p := range ps {
 			suffix := strconv.FormatFloat(p, 'g', -1, 64)
 			row["kickstart_p"+suffix] = kp[i]
@@ -299,6 +308,22 @@ func collectValues(logs []*kickstart.Log, f func(*kickstart.Record) float64) []f
 	return vs
 }
 
+func execSketch(a *kickstart.Aggregates) *quantile.Sketch { return a.ExecSketch }
+func waitSketch(a *kickstart.Aggregates) *quantile.Sketch { return a.WaitSketch }
+
+// mergedQuantiles merges the picked sketch of every aggregating log and
+// evaluates the percentiles on the union. The merge is deterministic, so
+// cell rows stay byte-identical across runs and worker counts.
+func mergedQuantiles(logs []*kickstart.Log, pick func(*kickstart.Aggregates) *quantile.Sketch, ps []float64) []float64 {
+	merged := quantile.NewSketch()
+	for _, lg := range logs {
+		if agg := lg.Aggregates(); agg != nil {
+			merged.Merge(pick(agg))
+		}
+	}
+	return quantile.Of(merged, ps...)
+}
+
 // runExperimentCell is the plan-cached single-site path: the cell maps
 // onto core.Experiment, so its plan is cloned from the keyed master and
 // only the seed's chunk runtimes are patched in.
@@ -310,6 +335,7 @@ func (c *Compiled) runExperimentCell(site string, cell Cell) (cellMetrics, error
 		RetryLimit:     c.retries,
 		Workload:       workflow.CustomWorkload(c.params, cell.Seed),
 		Cost:           workflow.DefaultCostModel(),
+		Aggregate:      c.Doc.Outputs.Aggregate,
 	}
 	r, err := e.RunClustered(site, cell.N, cell.Cluster.options())
 	if err != nil {
@@ -361,6 +387,7 @@ func (c *Compiled) runEnsembleCell(cell Cell) (cellMetrics, error) {
 		MemberWorkload: func(i int) workflow.Workload {
 			return workflow.CustomWorkload(c.params, cell.Seed+uint64(i))
 		},
+		Aggregate: c.Doc.Outputs.Aggregate,
 	}
 	if c.Doc.Ensemble != nil {
 		exp.MaxInFlight = c.Doc.Ensemble.MaxInFlight

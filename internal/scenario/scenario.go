@@ -142,6 +142,16 @@ type OutputSpec struct {
 	// Percentiles adds kickstart_p<p> and waiting_p<p> per-attempt
 	// percentile fields (values in [0, 100]).
 	Percentiles []float64 `json:"percentiles,omitempty"`
+	// Aggregate runs every cell's engines in aggregation mode: logs fold
+	// into fixed-size accumulators and streaming sketches instead of
+	// retaining records, so memory stays flat however many jobs a cell
+	// simulates. Percentile fields then come from the sketches — exact
+	// until a cell exceeds the sketch's marker count, within its
+	// documented rank-error envelope beyond. Counters and makespans are
+	// unaffected. omitempty keeps the fingerprints of exact-mode
+	// documents unchanged; aggregated documents fingerprint differently,
+	// so the result cache never serves one mode for the other.
+	Aggregate bool `json:"aggregate,omitempty"`
 }
 
 // RetryBackoffSpec delays every retry by an exponentially growing window

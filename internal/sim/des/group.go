@@ -1,0 +1,148 @@
+package des
+
+import "sort"
+
+// Group couples several simulations into one logical event queue with a
+// shared sequence space, so events compare across members exactly as they
+// would on a single shared simulation. It is the kernel half of per-site
+// intra-run parallelism: each member owns a disjoint state partition
+// (one site), and execution alternates between two phases.
+//
+// Window phase (BeginWindows → StepWindow on each member → Reconcile):
+// every member may advance its own non-boundary events concurrently up to
+// a caller-chosen horizon. Events scheduled during a window get
+// member-local provisional sequence numbers; Reconcile folds the
+// survivors back into the shared sequence space, preserving each member's
+// creation order, so a later tie-break is deterministic.
+//
+// Serialized phase (FireNext): the globally earliest pending event —
+// boundary or not — fires on its member, with every member's clock first
+// synchronized forward to that time. Boundary events (the ones whose
+// callbacks reach outside their member's partition) only ever fire here,
+// in exactly the (time, sequence) order a shared simulation would use.
+//
+// The resulting schedule is identical to running all members' events on
+// one shared simulation, except that simultaneous cross-member events
+// created in the same window tie-break in member order rather than
+// creation order — indistinguishable unless two members schedule at the
+// exact same float64 time.
+type Group struct {
+	members []*Simulation
+	// seq is the shared sequence counter used outside windows.
+	seq uint64
+	// snapshot is seq at BeginWindows; events with seq ≥ snapshot are the
+	// current window's provisional events.
+	snapshot uint64
+	inWindow bool
+	scratch  []int32 // reconcile scratch, reused across phases
+}
+
+// NewGroup couples the given simulations. Members must be fresh: grouping
+// a simulation that has already scheduled events would leave those events
+// outside the shared sequence space, so it panics.
+func NewGroup(members ...*Simulation) *Group {
+	g := &Group{members: members}
+	for _, m := range members {
+		if m.group != nil {
+			panic("des: simulation is already in a group")
+		}
+		if len(m.heap) > 0 || m.seq != 0 {
+			panic("des: grouping a simulation with scheduling history")
+		}
+		m.group = g
+	}
+	return g
+}
+
+// nextSeq issues the sequence number for a new event on member s: shared
+// during serialized phases, member-local provisional during windows (so
+// concurrent members never contend, and Reconcile can renumber).
+func (g *Group) nextSeq(s *Simulation) uint64 {
+	if g.inWindow {
+		v := s.prov
+		s.prov++
+		return v
+	}
+	v := g.seq
+	g.seq++
+	return v
+}
+
+// BeginWindows opens the window phase: until Reconcile, each member
+// numbers new events from its own provisional counter and may be advanced
+// concurrently with StepWindow. The caller must not fire boundary events
+// or schedule cross-member work until Reconcile.
+func (g *Group) BeginWindows() {
+	g.snapshot = g.seq
+	for _, m := range g.members {
+		m.prov = g.seq
+	}
+	g.inWindow = true
+}
+
+// Reconcile closes the window phase, folding every surviving provisional
+// event back into the shared sequence space. Members are processed in
+// order; within a member, provisional events keep their creation order.
+// The renumbering is monotone within each member and stays above every
+// pre-window sequence number, so heap invariants are untouched.
+func (g *Group) Reconcile() {
+	g.inWindow = false
+	next := g.snapshot
+	for _, m := range g.members {
+		if m.prov == g.snapshot {
+			continue // member scheduled nothing this window
+		}
+		sc := g.scratch[:0]
+		for _, slot := range m.heap {
+			if m.events[slot].seq >= g.snapshot {
+				sc = append(sc, slot)
+			}
+		}
+		sort.Slice(sc, func(i, j int) bool {
+			return m.events[sc[i]].seq < m.events[sc[j]].seq
+		})
+		for _, slot := range sc {
+			m.events[slot].seq = next
+			next++
+		}
+		g.scratch = sc
+	}
+	g.seq = next
+}
+
+// FireNext executes the single globally earliest pending event by
+// (time, sequence), synchronizing every member's clock forward to its
+// time first — a member that idled through a window must still observe
+// the shared serialized clock. It reports false when every member is
+// drained. Must not be called between BeginWindows and Reconcile.
+func (g *Group) FireNext() bool {
+	if g.inWindow {
+		panic("des: FireNext inside an open window phase")
+	}
+	best := -1
+	var bt Time
+	var bs uint64
+	for i, m := range g.members {
+		if len(m.heap) == 0 {
+			continue
+		}
+		e := &m.events[m.heap[0]]
+		if best < 0 || e.at < bt || (e.at == bt && e.seq < bs) {
+			best, bt, bs = i, e.at, e.seq
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	// Safe: bt is the global minimum, so no member has a pending event
+	// before it and moving clocks forward cannot skip anything.
+	for _, m := range g.members {
+		if m.now < bt {
+			m.now = bt
+		}
+	}
+	return g.members[best].Step()
+}
+
+// Members returns the coupled simulations in group order.
+func (g *Group) Members() []*Simulation { return g.members }

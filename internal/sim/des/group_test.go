@@ -1,0 +1,178 @@
+package des
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drainGroup runs the group's phase loop with the given per-member window
+// horizons, returning the order in which callbacks fired.
+func drainGroup(g *Group, horizon Time) {
+	for {
+		g.BeginWindows()
+		for _, m := range g.Members() {
+			for m.StepWindow(horizon) {
+			}
+		}
+		g.Reconcile()
+		if !g.FireNext() {
+			return
+		}
+	}
+}
+
+// TestGroupBoundariesMatchSharedSimulation: boundary events carry the
+// global-order guarantee — the same program scheduled on two grouped
+// simulations fires them in exactly the order a single shared simulation
+// would use (including sequence tie-breaks at equal times), whatever the
+// window horizon.
+func TestGroupBoundariesMatchSharedSimulation(t *testing.T) {
+	program := func(schedule func(member int, at Time, fn func())) {
+		schedule(0, 5, nil)
+		schedule(1, 3, nil)
+		schedule(0, 3, nil)
+		schedule(1, 7, nil)
+		schedule(0, 7, nil)
+	}
+
+	var want []int
+	shared := New()
+	id := 0
+	program(func(member int, at Time, fn func()) {
+		tag := id
+		id++
+		shared.AtBoundary(at, func() { want = append(want, tag) })
+	})
+	shared.Run()
+
+	for _, horizon := range []Time{0, 4, 100} {
+		var got []int
+		a, b := New(), New()
+		g := NewGroup(a, b)
+		sims := []*Simulation{a, b}
+		id = 0
+		program(func(member int, at Time, fn func()) {
+			tag := id
+			id++
+			sims[member].AtBoundary(at, func() { got = append(got, tag) })
+		})
+		drainGroup(g, horizon)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("horizon %v: fired %v, shared simulation fired %v", horizon, got, want)
+		}
+	}
+}
+
+// TestGroupWindowPreservesMemberOrder: non-boundary events may interleave
+// differently across members inside windows — that is the parallelism —
+// but each member's own firing order is exactly its serial order.
+func TestGroupWindowPreservesMemberOrder(t *testing.T) {
+	a, b := New(), New()
+	g := NewGroup(a, b)
+	var got []string
+	a.At(3, func() { got = append(got, "a1") })
+	b.At(2, func() { got = append(got, "b1") })
+	a.At(5, func() { got = append(got, "a2") })
+	b.At(4, func() { got = append(got, "b2") })
+	drainGroup(g, 100)
+	perMember := map[byte][]string{}
+	for _, tag := range got {
+		perMember[tag[0]] = append(perMember[tag[0]], tag)
+	}
+	if !reflect.DeepEqual(perMember['a'], []string{"a1", "a2"}) ||
+		!reflect.DeepEqual(perMember['b'], []string{"b1", "b2"}) {
+		t.Errorf("member order broken: fired %v", got)
+	}
+	if len(got) != 4 {
+		t.Errorf("fired %d events, want 4: %v", len(got), got)
+	}
+}
+
+// TestGroupWindowRespectsBoundaryAndHorizon: StepWindow must refuse
+// boundary events and events at or past the horizon.
+func TestGroupWindowRespectsBoundaryAndHorizon(t *testing.T) {
+	s := New()
+	NewGroup(s)
+	var fired []string
+	s.AtBoundary(1, func() { fired = append(fired, "boundary") })
+	if s.StepWindow(100) {
+		t.Error("StepWindow fired a boundary event")
+	}
+	s2 := New()
+	NewGroup(s2)
+	s2.At(5, func() { fired = append(fired, "at-horizon") })
+	if s2.StepWindow(5) {
+		t.Error("StepWindow fired an event at the horizon (must be strict)")
+	}
+	if !s2.StepWindow(5.1) {
+		t.Error("StepWindow refused an event inside the horizon")
+	}
+	if len(fired) != 1 || fired[0] != "at-horizon" {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+// TestGroupClockSync: firing the global minimum advances every member's
+// clock, so an idle member later schedules relative to serialized time.
+func TestGroupClockSync(t *testing.T) {
+	a, b := New(), New()
+	NewGroup(a, b)
+	a.At(10, func() {})
+	g := a.group
+	if !g.FireNext() {
+		t.Fatal("FireNext found nothing")
+	}
+	if b.Now() != 10 {
+		t.Errorf("idle member clock = %v, want 10 (synced to fired time)", b.Now())
+	}
+}
+
+// TestGroupReconcileKeepsCreationOrder: events created inside a window
+// keep their member-local creation order after renumbering, and events
+// from before the window still sort first at equal times.
+func TestGroupReconcileKeepsCreationOrder(t *testing.T) {
+	a, b := New(), New()
+	g := NewGroup(a, b)
+	var got []string
+	a.At(1, func() { // fires in the window; schedules provisional events
+		a.At(9, func() { got = append(got, "a-first") })
+		a.At(9, func() { got = append(got, "a-second") })
+	})
+	b.At(9, func() { got = append(got, "b-pre") })
+
+	g.BeginWindows()
+	for a.StepWindow(5) {
+	}
+	g.Reconcile()
+	for g.FireNext() {
+	}
+	want := []string{"b-pre", "a-first", "a-second"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fired %v, want %v", got, want)
+	}
+}
+
+// TestGroupPanics pins the misuse guards: grouping a used simulation,
+// double-grouping, and firing inside an open window all panic.
+func TestGroupPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	used := New()
+	used.At(1, func() {})
+	expectPanic("grouping a simulation with history", func() { NewGroup(used) })
+
+	grouped := New()
+	NewGroup(grouped)
+	expectPanic("double-grouping", func() { NewGroup(grouped) })
+
+	g := NewGroup(New())
+	g.BeginWindows()
+	expectPanic("FireNext inside a window", func() { g.FireNext() })
+}

@@ -1,0 +1,216 @@
+package platform
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pegflow/internal/engine"
+	"pegflow/internal/fault"
+	"pegflow/internal/planner"
+)
+
+// stormyConfigs is a two-site pool with enough texture to exercise every
+// boundary class: evictions and retries on the flaky site, a slot ramp
+// (non-boundary capacity events) on both, and distinct dispatch streams.
+func stormyConfigs() []Config {
+	return []Config{
+		{Name: "stable", Slots: 8, SubmitInterval: 0.5, DispatchMean: 5, DispatchCV: 0.4,
+			SpeedFactor: 1, SpeedJitter: 0.1, InitialSlots: 2, SlotRampInterval: 40, Seed: 3},
+		{Name: "flaky", Slots: 8, SubmitInterval: 0.5, DispatchMean: 20, DispatchCV: 0.8,
+			SpeedFactor: 1, SpeedJitter: 0.2, SetupMean: 30, SetupCV: 0.5,
+			EvictionRate: 1.0 / 150, Seed: 3},
+	}
+}
+
+// runPool executes the two-site storm fixture on a serial or parallel
+// pool, with retries, cross-site failover and delayed (backoff) retries —
+// the full set of serialized boundary interactions.
+func runPool(t *testing.T, parallel bool, faults []fault.Spec) *engine.Result {
+	t.Helper()
+	cats, plan := twoSiteWorld(t, 16)
+	build := NewMultiExecutor
+	if parallel {
+		build = NewParallelMultiExecutor
+	}
+	pool, err := build(stormyConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults != nil {
+		script, err := fault.Compile(faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.InstallFaults(script); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fo, err := planner.NewFailover(cats, plan.Sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(plan, pool, engine.Options{
+		RetryLimit: 6,
+		Retry:      fo.Resite,
+		Backoff:    func(attempt int) float64 { return float64(attempt) * 7 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// logBytes renders the full attempt log, the strongest schedule witness:
+// every submit, setup, exec and end timestamp of every attempt.
+func logBytes(t *testing.T, res *engine.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Log.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelPoolByteIdenticalSchedule is the tentpole assertion: the
+// per-site parallel pool must reproduce the serial pool's schedule bit
+// for bit — every record timestamp, every counter — under an eviction
+// storm with cross-site failover and backoff retries.
+func TestParallelPoolByteIdenticalSchedule(t *testing.T) {
+	serial := runPool(t, false, nil)
+	par := runPool(t, true, nil)
+	if !bytes.Equal(logBytes(t, serial), logBytes(t, par)) {
+		t.Error("parallel pool produced a different attempt log than the serial pool")
+	}
+	if serial.Makespan != par.Makespan {
+		t.Errorf("makespan diverged: serial %v, parallel %v", serial.Makespan, par.Makespan)
+	}
+	if serial.Retries != par.Retries || serial.Evictions != par.Evictions ||
+		serial.Failovers != par.Failovers || serial.Backoffs != par.Backoffs {
+		t.Errorf("counters diverged:\nserial   %+v\nparallel %+v", serial, par)
+	}
+	if !reflect.DeepEqual(serial.Completed, par.Completed) {
+		t.Errorf("completion sets diverged: serial %v, parallel %v", serial.Completed, par.Completed)
+	}
+	if serial.Evictions == 0 || serial.Failovers == 0 || serial.Backoffs == 0 {
+		t.Fatalf("fixture too tame to certify the parallel schedule: %+v", serial)
+	}
+}
+
+// TestParallelPoolByteIdenticalUnderFaults adds scripted fault timelines
+// — an outage (capacity boundary events), a blackout (dispatch holds) and
+// a preemption storm — to the same identity assertion.
+func TestParallelPoolByteIdenticalUnderFaults(t *testing.T) {
+	faults := []fault.Spec{
+		{Type: fault.TypeOutage, Site: "flaky", At: 120, Duration: 90},
+		{Type: fault.TypeBlackout, Site: "stable", At: 30, Duration: 40},
+		{Type: fault.TypeStorm, Site: "flaky", At: 300, Duration: 60,
+			Multiplier: 40, KillFraction: 0.5},
+	}
+	serial := runPool(t, false, faults)
+	par := runPool(t, true, faults)
+	if !bytes.Equal(logBytes(t, serial), logBytes(t, par)) {
+		t.Error("parallel pool diverged from serial under scripted faults")
+	}
+	if serial.Makespan != par.Makespan || serial.Evictions != par.Evictions {
+		t.Errorf("fault run diverged:\nserial   %+v\nparallel %+v", serial, par)
+	}
+}
+
+// TestParallelPoolDeterministic: repeated parallel runs are themselves
+// byte-identical — window goroutines must not leak scheduling order into
+// the result.
+func TestParallelPoolDeterministic(t *testing.T) {
+	a := logBytes(t, runPool(t, true, nil))
+	b := logBytes(t, runPool(t, true, nil))
+	if !bytes.Equal(a, b) {
+		t.Error("parallel pool output differs between identical runs")
+	}
+}
+
+// TestParallelPoolAggregateParity composes the two tentpole paths: an
+// aggregated run on the parallel pool must fold exactly the records the
+// serial exact run retains, with recycling routed back through per-site
+// arenas that now live on per-site simulations.
+func TestParallelPoolAggregateParity(t *testing.T) {
+	_, plan := twoSiteWorld(t, 16)
+	runAgg := func(parallel bool) *engine.Result {
+		build := NewMultiExecutor
+		if parallel {
+			build = NewParallelMultiExecutor
+		}
+		pool, err := build(stormyConfigs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Run(plan, pool, engine.Options{RetryLimit: 6, Aggregate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, par := runAgg(false), runAgg(true)
+	if !reflect.DeepEqual(serial.Log.Aggregates(), par.Log.Aggregates()) {
+		t.Errorf("aggregates diverged:\nserial   %+v\nparallel %+v",
+			serial.Log.Aggregates(), par.Log.Aggregates())
+	}
+	if serial.Makespan != par.Makespan || serial.Log.Len() != par.Log.Len() {
+		t.Errorf("aggregate run shape diverged: serial %v/%d, parallel %v/%d",
+			serial.Makespan, serial.Log.Len(), par.Makespan, par.Log.Len())
+	}
+}
+
+// TestParallelPoolSharedClockReads: pool-level Now must report serialized
+// time in both modes (the engine and ensemble drivers read it), even
+// though parallel site clocks run ahead inside windows.
+func TestParallelPoolSharedClockReads(t *testing.T) {
+	serial := runPoolNow(t, false)
+	par := runPoolNow(t, true)
+	if serial != par {
+		t.Errorf("pool Now diverged after identical runs: serial %v, parallel %v", serial, par)
+	}
+}
+
+// TestParallelWindowsActuallyFire guards against the identity tests
+// passing vacuously: if every event serialized through FireNext the
+// schedule would trivially match, but the parallelism would be gone. Each
+// Step fires exactly one serialized event, so any surplus in the members'
+// processed counts is window work.
+func TestParallelWindowsActuallyFire(t *testing.T) {
+	_, plan := twoSiteWorld(t, 16)
+	pool, err := NewParallelMultiExecutor(stormyConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range plan.Jobs() {
+		pool.Submit(j, 1)
+	}
+	steps := 0
+	for pool.Step() {
+		steps++
+	}
+	total := 0
+	for _, sim := range pool.group.Members() {
+		total += int(sim.Processed())
+	}
+	if total <= steps {
+		t.Errorf("windows fired nothing: %d events over %d serialized steps", total, steps)
+	}
+}
+
+func runPoolNow(t *testing.T, parallel bool) float64 {
+	t.Helper()
+	_, plan := twoSiteWorld(t, 8)
+	build := NewMultiExecutor
+	if parallel {
+		build = NewParallelMultiExecutor
+	}
+	pool, err := build(stormyConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(plan, pool, engine.Options{RetryLimit: 6}); err != nil {
+		t.Fatal(err)
+	}
+	return pool.Now()
+}

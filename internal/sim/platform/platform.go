@@ -144,6 +144,11 @@ type Executor struct {
 	cfg   Config
 	sim   *des.Simulation
 	slots *des.Resource
+	// submitClock is the simulation whose clock timestamps submissions.
+	// Normally sim itself; a parallel pool points it at the pool's clock,
+	// which tracks the serialized schedule exactly even while this site's
+	// own clock runs ahead inside a window (see NewParallelMultiExecutor).
+	submitClock *des.Simulation
 
 	dispatch *rng.Stream
 	speed    *rng.Stream
@@ -194,7 +199,10 @@ const recChunk = 256
 
 // recArena hands out *kickstart.Record values from append-only chunks.
 // Handed-out pointers stay valid because a chunk is never regrown — when
-// one fills, the arena starts a fresh chunk.
+// one fills, the arena starts a fresh chunk. Records returned through
+// recycle are reissued before any new chunk space is used, so an
+// aggregating run (which folds and recycles every record) keeps the
+// arena at O(in-flight attempts) regardless of attempt count.
 //
 // A by-value copy aliases the open chunk, so both copies would hand out
 // the same record slots; slabcopy flags it.
@@ -202,14 +210,36 @@ const recChunk = 256
 //pegflow:slab
 type recArena struct {
 	chunk []kickstart.Record
+	free  []*kickstart.Record
+	// allocated counts fresh slots ever created (recycled reissues are
+	// free): the arena's high-water retention, which an aggregating run
+	// must keep at O(in-flight) regardless of attempt count.
+	allocated int
 }
 
 func (a *recArena) alloc() *kickstart.Record {
+	if n := len(a.free); n > 0 {
+		r := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return r
+	}
 	if len(a.chunk) == cap(a.chunk) {
 		a.chunk = make([]kickstart.Record, 0, recChunk)
 	}
 	a.chunk = append(a.chunk, kickstart.Record{})
+	a.allocated++
 	return &a.chunk[len(a.chunk)-1]
+}
+
+// ArenaRecords reports the number of kickstart-record slots the executor
+// has ever materialized — the record-retention high-water mark. An
+// aggregating run recycles records through the engine, so this stays at
+// the in-flight level however many attempts the run makes.
+func (e *Executor) ArenaRecords() int { return e.recs.allocated }
+
+func (a *recArena) recycle(r *kickstart.Record) {
+	a.free = append(a.free, r)
 }
 
 // NewExecutor builds an executor for the platform configuration with its
@@ -237,16 +267,17 @@ func newExecutorOn(sim *des.Simulation, cfg Config) (*Executor, error) {
 		startSlots = cfg.InitialSlots
 	}
 	e := &Executor{
-		cfg:      cfg,
-		sim:      sim,
-		slots:    des.NewResource(sim, startSlots),
-		dispatch: base.Derive("dispatch"),
-		speed:    base.Derive("speed"),
-		setup:    base.Derive("setup"),
-		evict:    base.Derive("evict"),
-		frng:     base.Derive("fault"),
-		capBase:  startSlots,
-		capLimit: fault.NoLimit,
+		cfg:         cfg,
+		sim:         sim,
+		submitClock: sim,
+		slots:       des.NewResource(sim, startSlots),
+		dispatch:    base.Derive("dispatch"),
+		speed:       base.Derive("speed"),
+		setup:       base.Derive("setup"),
+		evict:       base.Derive("evict"),
+		frng:        base.Derive("fault"),
+		capBase:     startSlots,
+		capLimit:    fault.NoLimit,
 	}
 	e.nodeNames = make([]string, cfg.Slots)
 	for i := range e.nodeNames {
@@ -277,11 +308,13 @@ func (e *Executor) InstallFaults(tl *fault.Timeline) {
 	}
 	for _, st := range tl.Steps {
 		limit := st.Limit
-		e.sim.At(des.Time(st.At), func() { e.setCapLimit(limit) })
+		// Boundary: capacity steps evict running attempts and emit their
+		// terminal events, reaching outside the site's window partition.
+		e.sim.AtBoundary(des.Time(st.At), func() { e.setCapLimit(limit) })
 	}
 	for _, p := range tl.Preempts {
 		frac := p.Fraction
-		e.sim.At(des.Time(p.At), func() { e.preemptOccupied(frac) })
+		e.sim.AtBoundary(des.Time(p.At), func() { e.preemptOccupied(frac) })
 	}
 }
 
@@ -413,7 +446,11 @@ func (e *Executor) SubmitTagged(job *planner.Job, attempt int, emit func(engine.
 }
 
 func (e *Executor) submitWith(job *planner.Job, attempt int, emit func(engine.Event)) {
-	now := e.Now()
+	// Submissions are timestamped off the submit clock: the site's own
+	// clock on a standalone executor, the pool's serialized clock in a
+	// parallel pool (where this site's clock may sit ahead, inside a
+	// window — submissions always originate from the serialized phase).
+	now := e.submitClock.Now().Seconds()
 	// Serialize submissions through the submit host.
 	release := now
 	if e.nextFree > release {
@@ -430,7 +467,10 @@ func (e *Executor) submitWith(job *planner.Job, attempt int, emit func(engine.Ev
 		land := e.faults.DelayThroughBlackouts(now + delay)
 		delay = land - now
 	}
-	e.sim.After(delay, func() {
+	// The arrival lands strictly after the submit host's release point, so
+	// it is always in this site's future even mid-window (delay > release
+	// - now, and windows never advance the site clock to nextFree).
+	e.sim.At(des.Time(now+delay), func() {
 		e.slots.Acquire(1, func() {
 			e.runOnNode(job, attempt, submitTime, emit)
 		})
@@ -505,7 +545,8 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 	}
 
 	if evictAt >= 0 {
-		id := e.sim.After(evictAt, func() {
+		// Boundary: finishing an attempt emits an engine event.
+		id := e.sim.AfterBoundary(evictAt, func() {
 			if key != 0 {
 				delete(e.active, key)
 			}
@@ -521,7 +562,8 @@ func (e *Executor) runOnNode(job *planner.Job, attempt int, submitTime float64, 
 		return
 	}
 
-	id := e.sim.After(total, func() {
+	// Boundary: completion emits the attempt's terminal engine event.
+	id := e.sim.AfterBoundary(total, func() {
 		if key != 0 {
 			delete(e.active, key)
 		}
@@ -586,7 +628,10 @@ func (e *Executor) SubmitAfter(job *planner.Job, attempt int, delay float64) {
 		e.Submit(job, attempt)
 		return
 	}
-	e.sim.After(delay, func() { e.Submit(job, attempt) })
+	// Scheduled on the submit clock as a boundary event: the retry calls
+	// submitWith, which mutates submit-host state — in a parallel pool it
+	// must fire in the serialized phase, at serialized time.
+	e.submitClock.AfterBoundary(delay, func() { e.Submit(job, attempt) })
 }
 
 // memberRecords builds the per-task kickstart records of one successful
@@ -642,4 +687,11 @@ func (e *Executor) Next() engine.Event {
 	return e.pending.Pop()
 }
 
+// Recycle returns a spent record's arena slot for reuse — the engine's
+// aggregation mode calls this after folding each record. The record was
+// allocated by this executor (records never change Site) and must not
+// be touched by the caller afterwards.
+func (e *Executor) Recycle(r *kickstart.Record) { e.recs.recycle(r) }
+
 var _ engine.Executor = (*Executor)(nil)
+var _ engine.RecordRecycler = (*Executor)(nil)

@@ -37,8 +37,28 @@ type ClusterStats struct {
 }
 
 // PerCluster aggregates records that carry a ClusterID, sorted by
-// ClusterID. Logs from unclustered runs yield an empty slice.
+// ClusterID. Logs from unclustered runs yield an empty slice;
+// aggregating logs answer from their folded accumulators.
 func PerCluster(log *kickstart.Log) []ClusterStats {
+	if agg := log.Aggregates(); agg != nil {
+		ids := agg.ClusterIDs()
+		out := make([]ClusterStats, 0, len(ids))
+		for _, id := range ids {
+			ca := agg.ByCluster[id]
+			out = append(out, ClusterStats{
+				ClusterID:      id,
+				Site:           ca.Site,
+				Transformation: ca.Transformation,
+				Tasks:          ca.Tasks,
+				Attempts:       ca.Attempts,
+				Evictions:      ca.Evictions,
+				ExecSeconds:    ca.ExecSeconds,
+				SetupSeconds:   ca.SetupSeconds,
+				WaitSeconds:    ca.WaitSeconds,
+			})
+		}
+		return out
+	}
 	byID := make(map[string]*ClusterStats)
 	firstWait := make(map[string]bool)
 	for _, r := range log.Records() {

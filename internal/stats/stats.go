@@ -30,44 +30,53 @@ type Summary struct {
 }
 
 // Summarize computes workflow-level statistics from a log and the
-// engine-reported makespan.
+// engine-reported makespan. It consumes the log in a single pass —
+// aggregating logs retain no records, so there is nothing to walk
+// twice — reading folded accumulators directly when the log is in
+// aggregation mode.
 func Summarize(log *kickstart.Log, makespan float64) Summary {
+	if agg := log.Aggregates(); agg != nil {
+		s := Summary{
+			WallTime:              makespan,
+			CumulativeJobWallTime: agg.CumulativeTotal,
+			CumulativeKickstart:   agg.CumulativeExec,
+			Jobs:                  agg.SucceededJobs(),
+			Attempts:              agg.Attempts,
+			Failures:              agg.Failed + agg.Evicted,
+		}
+		s.Retries = s.Attempts - s.Jobs - agg.UnfinishedJobs()
+		if s.Retries < 0 {
+			s.Retries = 0
+		}
+		return s
+	}
 	s := Summary{WallTime: makespan, Attempts: log.Len()}
-	seen := make(map[string]bool)
+	succeeded := make(map[string]bool)
+	// failedOnly holds jobs with a non-success record and no success so
+	// far; a later success deletes the entry, so after the pass it is
+	// exactly the never-succeeded job set.
+	failedOnly := make(map[string]bool)
 	for _, r := range log.Records() {
 		if r.Status != kickstart.StatusSuccess {
 			s.Failures++
+			if !succeeded[r.JobID] {
+				failedOnly[r.JobID] = true
+			}
 			continue
 		}
 		s.CumulativeJobWallTime += r.Total()
 		s.CumulativeKickstart += r.Exec()
-		if !seen[r.JobID] {
-			seen[r.JobID] = true
+		if !succeeded[r.JobID] {
+			succeeded[r.JobID] = true
 			s.Jobs++
+			delete(failedOnly, r.JobID)
 		}
 	}
-	s.Retries = s.Attempts - s.Jobs - countUnfinishedOnly(log, seen)
+	s.Retries = s.Attempts - s.Jobs - len(failedOnly)
 	if s.Retries < 0 {
 		s.Retries = 0
 	}
 	return s
-}
-
-// countUnfinishedOnly counts attempts belonging to jobs that never
-// succeeded (their first attempts are not retries of a success).
-func countUnfinishedOnly(log *kickstart.Log, succeeded map[string]bool) int {
-	first := make(map[string]bool)
-	n := 0
-	for _, r := range log.Records() {
-		if succeeded[r.JobID] {
-			continue
-		}
-		if !first[r.JobID] {
-			first[r.JobID] = true
-			n++
-		}
-	}
-	return n
 }
 
 // TaskStats aggregates per-transformation phase timings over successful
@@ -88,8 +97,12 @@ type TaskStats struct {
 }
 
 // PerTransformation aggregates successful attempts by transformation,
-// sorted by transformation name.
+// sorted by transformation name. Aggregating logs answer from their
+// folded accumulators.
 func PerTransformation(log *kickstart.Log) []TaskStats {
+	if agg := log.Aggregates(); agg != nil {
+		return accumRows(agg.ByTransformation)
+	}
 	byTr := make(map[string]*TaskStats)
 	for _, r := range log.Successes() {
 		ts := byTr[r.Transformation]
@@ -122,6 +135,38 @@ func PerTransformation(log *kickstart.Log) []TaskStats {
 		ts.MeanWaiting /= c
 		ts.MeanSetup /= c
 		out = append(out, *ts)
+	}
+	return out
+}
+
+// accumTaskStats converts a folded phase accumulator into the TaskStats
+// row exact-mode aggregation would have produced: sums accumulated in
+// record order, means derived by one division.
+func accumTaskStats(name string, a *kickstart.PhaseAccum) TaskStats {
+	c := float64(a.Count)
+	return TaskStats{
+		Transformation: name,
+		Count:          a.Count,
+		MeanKickstart:  a.SumExec / c,
+		MeanWaiting:    a.SumWait / c,
+		MeanSetup:      a.SumSetup / c,
+		MaxKickstart:   a.MaxExec,
+		MaxWaiting:     a.MaxWait,
+		TotalKickstart: a.SumExec,
+	}
+}
+
+// accumRows renders a keyed accumulator map as TaskStats rows sorted by
+// key.
+func accumRows(m map[string]*kickstart.PhaseAccum) []TaskStats {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]TaskStats, 0, len(names))
+	for _, n := range names {
+		out = append(out, accumTaskStats(n, m[n]))
 	}
 	return out
 }

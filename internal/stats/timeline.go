@@ -3,11 +3,10 @@ package stats
 import (
 	"fmt"
 	"io"
-	"math"
-	"sort"
 	"strings"
 
 	"pegflow/internal/kickstart"
+	"pegflow/internal/stats/quantile"
 )
 
 // Timeline renders an ASCII utilization chart from a kickstart log — the
@@ -113,8 +112,20 @@ func WriteTimeline(w io.Writer, tl Timeline, maxWidth int) error {
 }
 
 // SiteBreakdown aggregates successful-attempt phase totals per site —
-// useful when a plan spans several sites.
+// useful when a plan spans several sites. Aggregating logs answer from
+// their folded accumulators.
 func SiteBreakdown(log *kickstart.Log) map[string]TaskStats {
+	if agg := log.Aggregates(); agg != nil {
+		out := make(map[string]TaskStats, len(agg.BySite))
+		for site, a := range agg.BySite {
+			ts := accumTaskStats(site, a)
+			// The exact path never fills the straggler columns for site
+			// rows; keep the two paths value-identical.
+			ts.MaxKickstart, ts.MaxWaiting = 0, 0
+			out[site] = ts
+		}
+		return out
+	}
 	out := make(map[string]TaskStats)
 	for _, r := range log.Successes() {
 		ts := out[r.Site]
@@ -162,6 +173,44 @@ func Percentiles(log *kickstart.Log, f func(*kickstart.Record) float64, ps ...fl
 	return PercentilesOf(vs, ps...)
 }
 
+// QuantileSource is the interface shared by the exact and sketch
+// percentile backends (see internal/stats/quantile). Exact sources are
+// the default and reproduce the historical sort-and-nearest-rank
+// output byte for byte; sketches back aggregating logs.
+type QuantileSource = quantile.Source
+
+// QuantilesFrom evaluates a batch of percentiles (0–100) against one
+// source, in the order given.
+func QuantilesFrom(src QuantileSource, ps ...float64) []float64 {
+	return quantile.Of(src, ps...)
+}
+
+// ExecSource returns a quantile source over successful attempts'
+// kickstart (exec) times: the log's streaming sketch when aggregating,
+// otherwise an exact source over the retained records.
+func ExecSource(log *kickstart.Log) QuantileSource {
+	if agg := log.Aggregates(); agg != nil {
+		return agg.ExecSketch
+	}
+	return exactSourceOf(log, (*kickstart.Record).Exec)
+}
+
+// WaitingSource is ExecSource for the waiting phase.
+func WaitingSource(log *kickstart.Log) QuantileSource {
+	if agg := log.Aggregates(); agg != nil {
+		return agg.WaitSketch
+	}
+	return exactSourceOf(log, (*kickstart.Record).Waiting)
+}
+
+func exactSourceOf(log *kickstart.Log, f func(*kickstart.Record) float64) *quantile.Exact {
+	e := quantile.NewExact()
+	for _, r := range log.Successes() {
+		e.Add(f(r))
+	}
+	return e
+}
+
 // PercentilesOf returns the requested percentiles (0-100, nearest-rank)
 // of an arbitrary value set, with the same edge handling as Percentiles:
 // an empty set yields zeros, each p is clamped to [0, 100], and a NaN p
@@ -173,32 +222,9 @@ func PercentilesOf(values []float64, ps ...float64) []float64 {
 	if len(values) == 0 {
 		return out
 	}
-	vs := make([]float64, len(values))
-	copy(vs, values)
-	sort.Float64s(vs)
+	src := quantile.ExactOf(values)
 	for i, p := range ps {
-		out[i] = nearestRank(vs, p)
+		out[i] = src.Quantile(p)
 	}
 	return out
-}
-
-// nearestRank picks the p-th percentile from an ascending-sorted slice.
-func nearestRank(sorted []float64, p float64) float64 {
-	if math.IsNaN(p) {
-		return 0
-	}
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	idx := int(p/100*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
